@@ -1,0 +1,63 @@
+// Ablation: lookup-directory representation (paper Section 4.2).
+//
+// Exact-Directory vs Bloom filter at several target false-positive rates:
+// memory footprint vs the latency wasted on false-positive P2P lookups.
+// The trade-off the paper describes, quantified.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+int main() {
+  using namespace webcache;
+  bench::SectionTimer timer("abl_directory");
+
+  auto wl = bench::paper_workload();
+  wl.total_requests = std::max<std::uint64_t>(wl.total_requests / 2, 50'000);
+  const auto trace = workload::ProWGen(wl).generate();
+  const auto infinite = core::cluster_infinite_cache_size(trace, 2);
+
+  struct Variant {
+    std::string label;
+    sim::DirectoryKind kind;
+    double fpr;
+  };
+  const Variant variants[] = {
+      {"exact", sim::DirectoryKind::kExact, 0.0},
+      {"bloom-10%", sim::DirectoryKind::kBloom, 0.10},
+      {"bloom-1%", sim::DirectoryKind::kBloom, 0.01},
+      {"bloom-0.1%", sim::DirectoryKind::kBloom, 0.001},
+  };
+
+  std::cout << "# Directory ablation: Hier-GD, proxy cache = 30% of infinite cache size ("
+            << infinite << " objects)\n";
+  std::cout << std::left << std::setw(12) << "# variant" << std::setw(12) << "gain%"
+            << std::setw(14) << "dir-bytes" << std::setw(12) << "lookups-FP" << std::setw(12)
+            << "lookups-TP" << std::setw(16) << "wasted-latency" << "mean-latency\n";
+  std::cout << std::fixed << std::setprecision(3);
+
+  for (const auto& v : variants) {
+    sim::SimConfig cfg;
+    cfg.scheme = sim::Scheme::kHierGD;
+    cfg.proxy_capacity = std::max<std::size_t>(1, infinite * 30 / 100);
+    cfg.client_cache_capacity = std::max<std::size_t>(1, infinite / 1000);
+    cfg.directory = v.kind;
+    cfg.bloom_target_fpr = v.fpr == 0.0 ? 0.01 : v.fpr;
+
+    sim::Simulator simulator(cfg, trace);
+    const auto m = simulator.run();
+    sim::SimConfig nc = cfg;
+    nc.scheme = sim::Scheme::kNC;
+    const auto base = sim::run_simulation(nc, trace);
+
+    std::size_t dir_bytes = 0;
+    for (unsigned p = 0; p < cfg.num_proxies; ++p) {
+      dir_bytes += simulator.directory_of(p)->memory_bytes();
+    }
+    std::cout << std::setw(12) << v.label << std::setw(12)
+              << 100.0 * sim::latency_gain(base, m) << std::setw(14) << dir_bytes
+              << std::setw(12) << m.messages.directory_false_positives << std::setw(12)
+              << m.messages.directory_true_positives << std::setw(16) << m.wasted_p2p_latency
+              << m.mean_latency() << "\n";
+  }
+  return 0;
+}

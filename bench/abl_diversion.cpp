@@ -1,0 +1,53 @@
+// Ablation: object diversion (paper Section 4.3, after PAST).
+//
+// Hier-GD with and without diverting destaged objects to leaf-set peers
+// when the root client cache is full: storage utilization balance, objects
+// retained, and end latency.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+int main() {
+  using namespace webcache;
+  bench::SectionTimer timer("abl_diversion");
+
+  auto wl = bench::paper_workload();
+  wl.total_requests = std::max<std::uint64_t>(wl.total_requests / 2, 50'000);
+  const auto trace = workload::ProWGen(wl).generate();
+  const auto infinite = core::cluster_infinite_cache_size(trace, 2);
+
+  std::cout << "# Object diversion ablation: Hier-GD, proxy cache = 20% of infinite "
+               "cache size\n";
+  std::cout << std::left << std::setw(12) << "# variant" << std::setw(10) << "gain%"
+            << std::setw(12) << "p2p-hits" << std::setw(12) << "diversions" << std::setw(14)
+            << "p2p-objects" << std::setw(14) << "p2p-capacity" << "utilization-cv\n";
+  std::cout << std::fixed << std::setprecision(3);
+
+  for (const bool diversion : {true, false}) {
+    sim::SimConfig cfg;
+    cfg.scheme = sim::Scheme::kHierGD;
+    cfg.proxy_capacity = std::max<std::size_t>(1, infinite * 20 / 100);
+    cfg.client_cache_capacity = std::max<std::size_t>(1, infinite / 1000);
+    cfg.enable_diversion = diversion;
+
+    sim::Simulator simulator(cfg, trace);
+    const auto m = simulator.run();
+    sim::SimConfig nc = cfg;
+    nc.scheme = sim::Scheme::kNC;
+    const auto base = sim::run_simulation(nc, trace);
+
+    std::size_t p2p_objects = 0, p2p_capacity = 0;
+    double cv = 0.0;
+    for (unsigned p = 0; p < cfg.num_proxies; ++p) {
+      const auto* p2p = simulator.p2p_of(p);
+      p2p_objects += p2p->size();
+      p2p_capacity += p2p->total_capacity();
+      cv += p2p->utilization_cv() / cfg.num_proxies;
+    }
+    std::cout << std::setw(12) << (diversion ? "diversion" : "no-div") << std::setw(10)
+              << 100.0 * sim::latency_gain(base, m) << std::setw(12) << m.hits_local_p2p
+              << std::setw(12) << m.messages.diversions << std::setw(14) << p2p_objects
+              << std::setw(14) << p2p_capacity << cv << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: resilience of Hier-GD to client-machine churn.
+//
+// The paper leans on Pastry for fault-resilience but never quantifies what
+// client crashes cost. This bench fails a growing fraction of each cluster
+// mid-run (objects lost, proxy directories stale until lookups self-heal)
+// and reports the residual gain, against SC (no client caches) as the
+// floor.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+int main() {
+  using namespace webcache;
+  bench::SectionTimer timer("abl_failures");
+
+  auto wl = bench::paper_workload();
+  wl.total_requests = std::max<std::uint64_t>(wl.total_requests / 2, 50'000);
+  const auto trace = workload::ProWGen(wl).generate();
+  const auto infinite = core::cluster_infinite_cache_size(trace, 2);
+
+  sim::SimConfig base;
+  base.scheme = sim::Scheme::kHierGD;
+  base.proxy_capacity = std::max<std::size_t>(1, infinite * 20 / 100);
+  base.client_cache_capacity = std::max<std::size_t>(1, infinite / 1000);
+
+  // The floor: simple cooperation with no client caches at all.
+  sim::SimConfig sc = base;
+  sc.scheme = sim::Scheme::kSC;
+  const auto sc_run = core::run_single(trace, sc);
+
+  std::cout << "# Client-churn resilience: Hier-GD with a fraction of each cluster "
+               "crashing at the midpoint\n";
+  std::cout << "# (SC, the no-client-cache floor, gains "
+            << std::fixed << std::setprecision(2) << sc_run.gain_percent << "%)\n";
+  std::cout << std::left << std::setw(12) << "# failed%" << std::setw(10) << "gain%"
+            << std::setw(12) << "p2p-hits" << std::setw(14) << "stale-lookups"
+            << "wasted-latency\n";
+
+  for (const double failed_fraction : {0.0, 0.1, 0.25, 0.5}) {
+    sim::SimConfig cfg = base;
+    const auto to_fail = static_cast<ClientNum>(
+        failed_fraction * static_cast<double>(cfg.clients_per_cluster));
+    for (unsigned p = 0; p < cfg.num_proxies; ++p) {
+      for (ClientNum c = 0; c < to_fail; ++c) {
+        cfg.client_failures.push_back(
+            sim::ClientFailure{trace.size() / 2, p, static_cast<ClientNum>(c * 3)});
+      }
+    }
+    const auto run = core::run_single(trace, cfg);
+    std::cout << std::setw(12) << 100.0 * failed_fraction << std::setw(10)
+              << run.gain_percent << std::setw(12) << run.metrics.hits_local_p2p
+              << std::setw(14) << run.metrics.messages.directory_false_positives
+              << run.metrics.wasted_p2p_latency << "\n";
+  }
+  return 0;
+}

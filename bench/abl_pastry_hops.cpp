@@ -1,0 +1,76 @@
+// Ablation: Pastry routing hop counts vs cluster size (paper Section 4.1).
+//
+// The paper argues a P2P client-cache lookup takes ceil(log_{2^b} N) hops
+// (e.g. 3 < log16(1024) + 1 < 4). This bench measures actual hop statistics
+// on the simulated overlay for growing N and compares to the bound, plus
+// routing state size and behaviour under 10% node failures.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "common/stats.hpp"
+#include "pastry/overlay.hpp"
+
+int main() {
+  using namespace webcache;
+  bench::SectionTimer timer("abl_pastry_hops");
+
+  std::cout << "# Pastry hop counts vs client cluster size (b = 4, l = 16)\n";
+  std::cout << "# RDP = network distance travelled / direct source-root distance;\n";
+  std::cout << "# 'prox' columns use proximity-aware routing tables.\n";
+  std::cout << std::left << std::setw(8) << "# N" << std::setw(10) << "bound" << std::setw(12)
+            << "mean-hops" << std::setw(10) << "max" << std::setw(14) << "mean-fail10%"
+            << std::setw(10) << "repairs" << std::setw(10) << "RDP" << "RDP-prox\n";
+  std::cout << std::fixed << std::setprecision(3);
+
+  for (const unsigned n : {16u, 64u, 256u, 1024u}) {
+    pastry::Overlay overlay{{}};
+    pastry::OverlayConfig prox_cfg;
+    prox_cfg.proximity_routing = true;
+    pastry::Overlay prox_overlay{prox_cfg};
+    for (unsigned i = 0; i < n; ++i) {
+      overlay.add_node(pastry::node_id_for("bench/node" + std::to_string(i)));
+      prox_overlay.add_node(pastry::node_id_for("bench/node" + std::to_string(i)));
+    }
+    const auto ids = overlay.nodes();
+    Rng rng(n);
+
+    RunningStat healthy;
+    RunningStat rdp_naive, rdp_prox;
+    for (int k = 0; k < 2000; ++k) {
+      const auto key = Sha1::hash128("bench/key" + std::to_string(k));
+      const auto& from = ids[rng.next_below(ids.size())];
+      const auto r = overlay.route(from, key);
+      healthy.add(static_cast<double>(r.hops));
+      const auto rp = prox_overlay.route(from, key);
+      const double direct = pastry::proximity(overlay.coordinates_of(from),
+                                              overlay.coordinates_of(r.destination));
+      if (direct > 1e-6 && r.hops > 0) {
+        rdp_naive.add(r.distance / direct);
+        rdp_prox.add(rp.distance / direct);
+      }
+    }
+
+    // Fail 10% of the nodes, then measure again (detect-on-use repairs on).
+    for (unsigned i = 0; i < n / 10; ++i) {
+      overlay.fail_node(pastry::node_id_for("bench/node" + std::to_string(i)));
+    }
+    const auto alive = overlay.nodes();
+    overlay.reset_stats();
+    RunningStat degraded;
+    for (int k = 0; k < 2000; ++k) {
+      const auto key = Sha1::hash128("bench/failkey" + std::to_string(k));
+      const auto r = overlay.route(alive[rng.next_below(alive.size())], key);
+      degraded.add(static_cast<double>(r.hops));
+    }
+
+    std::cout << std::setw(8) << n << std::setw(10) << overlay.expected_hop_bound()
+              << std::setw(12) << healthy.mean() << std::setw(10) << healthy.max()
+              << std::setw(14) << degraded.mean() << std::setw(10)
+              << overlay.stats().repairs << std::setw(10) << rdp_naive.mean()
+              << rdp_prox.mean() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench prints the series of one paper figure: latency gain (%) per
+// proxy-cache size, one column per scheme/parameter value, in a
+// gnuplot-ready table. Absolute numbers depend on the synthetic substrate;
+// the *shape* (ordering, crossovers, trends) is what reproduces the paper —
+// EXPERIMENTS.md records the comparison.
+//
+// WEBCACHE_BENCH_SCALE (default 1.0) scales the request volume for quick
+// runs, e.g. WEBCACHE_BENCH_SCALE=0.1 ./fig2a_cache_size.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "workload/prowgen.hpp"
+
+namespace webcache::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("WEBCACHE_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+    std::cerr << "ignoring invalid WEBCACHE_BENCH_SCALE=" << env << "\n";
+  }
+  return 1.0;
+}
+
+/// The paper's default synthetic workload (Section 5.1): one million
+/// requests over 10,000 distinct objects, 50% one-timers, alpha = 0.7.
+inline workload::ProWGenConfig paper_workload() {
+  workload::ProWGenConfig cfg;
+  cfg.total_requests =
+      static_cast<std::uint64_t>(1'000'000.0 * bench_scale());
+  cfg.distinct_objects = 10'000;
+  cfg.one_timer_fraction = 0.5;
+  cfg.zipf_alpha = 0.7;
+  cfg.lru_stack_fraction = 0.2;
+  cfg.clients = 100;
+  cfg.seed = 2003;  // publication year, for flavour
+  return cfg;
+}
+
+/// Timer helper: prints elapsed seconds after each bench section.
+class SectionTimer {
+ public:
+  explicit SectionTimer(std::string label)
+      : label_(std::move(label)), start_(std::chrono::steady_clock::now()) {}
+  ~SectionTimer() {
+    const auto dt = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start_);
+    std::cout << "# [" << label_ << " took " << dt.count() << " s]\n\n";
+  }
+
+ private:
+  std::string label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace webcache::bench

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Regenerates every paper figure and ablation table into bench_output.txt.
+# WEBCACHE_BENCH_SCALE (e.g. 0.1) scales the request volume for quick runs.
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+for b in "$BUILD_DIR"/bench/*; do
+  case "$b" in
+    *micro_components) continue ;;  # google-benchmark micro suite, run separately
+  esac
+  [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+done

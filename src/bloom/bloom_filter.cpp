@@ -1,0 +1,85 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace webcache::bloom {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+
+std::size_t optimal_bits(std::size_t n, double p) {
+  if (n == 0) n = 1;
+  const double m = -static_cast<double>(n) * std::log(p) / (kLn2 * kLn2);
+  return std::max<std::size_t>(64, static_cast<std::size_t>(std::ceil(m)));
+}
+
+unsigned optimal_hashes(std::size_t bits, std::size_t n) {
+  if (n == 0) n = 1;
+  const double k = static_cast<double>(bits) / static_cast<double>(n) * kLn2;
+  return std::clamp<unsigned>(static_cast<unsigned>(std::lround(k)), 1, 16);
+}
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_items, double target_fpr)
+    : BloomFilter(optimal_bits(expected_items, target_fpr),
+                  optimal_hashes(optimal_bits(expected_items, target_fpr), expected_items)) {
+  if (!(target_fpr > 0.0 && target_fpr < 1.0)) {
+    throw std::invalid_argument("BloomFilter: target_fpr must be in (0, 1)");
+  }
+}
+
+BloomFilter::BloomFilter(std::size_t bits, unsigned hashes)
+    : bits_(std::max<std::size_t>(bits, 1)),
+      hashes_(std::max<unsigned>(hashes, 1)),
+      words_((bits_ + 63) / 64, 0) {}
+
+std::size_t BloomFilter::probe(const Uint128& key, unsigned i) const {
+  // Kirsch–Mitzenmacher: g_i(x) = h1(x) + i * h2(x). h2 is forced odd so the
+  // probe sequence cycles through the full table for power-of-two sizes too.
+  const std::uint64_t h1 = key.hi;
+  const std::uint64_t h2 = key.lo | 1;
+  return static_cast<std::size_t>((h1 + static_cast<std::uint64_t>(i) * h2) %
+                                  static_cast<std::uint64_t>(bits_));
+}
+
+void BloomFilter::insert(const Uint128& key) {
+  for (unsigned i = 0; i < hashes_; ++i) {
+    const std::size_t b = probe(key, i);
+    words_[b / 64] |= (1ULL << (b % 64));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::may_contain(const Uint128& key) const {
+  for (unsigned i = 0; i < hashes_; ++i) {
+    const std::size_t b = probe(key, i);
+    if ((words_[b / 64] & (1ULL << (b % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+double BloomFilter::fill_ratio() const {
+  std::size_t set = 0;
+  for (const auto w : words_) set += static_cast<std::size_t>(std::popcount(w));
+  return static_cast<double>(set) / static_cast<double>(bits_);
+}
+
+double BloomFilter::estimated_fpr() const {
+  return std::pow(fill_ratio(), static_cast<double>(hashes_));
+}
+
+double BloomFilter::theoretical_fpr(std::size_t n) const {
+  const double k = static_cast<double>(hashes_);
+  const double exponent = -k * static_cast<double>(n) / static_cast<double>(bits_);
+  return std::pow(1.0 - std::exp(exponent), k);
+}
+
+}  // namespace webcache::bloom

@@ -1,0 +1,63 @@
+// Bloom filter (Bloom, CACM 1970) for the proxy's P2P-cache lookup directory.
+//
+// Section 4.2 of the paper proposes two directory representations: an exact
+// hashtable of objectIds and a Bloom filter trading memory for a false-
+// positive ratio. False positives make the proxy redirect a request into the
+// P2P client cache for an object that is not there, wasting Tp2p before
+// falling through to the cooperating proxies / server; the ablation bench
+// quantifies exactly that trade-off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/uint128.hpp"
+
+namespace webcache::bloom {
+
+/// Classic bit-array Bloom filter keyed by 128-bit identifiers. Uses the
+/// Kirsch–Mitzenmacher double-hashing scheme: the two 64-bit limbs of the
+/// identifier serve as the independent base hashes, so no re-hashing of the
+/// (already SHA-1-derived, uniformly distributed) key is needed.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at `target_fpr` false-positive
+  /// probability using the standard optima m = -n ln p / (ln 2)^2 and
+  /// k = (m/n) ln 2.
+  BloomFilter(std::size_t expected_items, double target_fpr);
+
+  /// Explicit geometry: `bits` bit cells and `hashes` probes per key.
+  BloomFilter(std::size_t bits, unsigned hashes);
+
+  void insert(const Uint128& key);
+  [[nodiscard]] bool may_contain(const Uint128& key) const;
+
+  /// Removes all entries.
+  void clear();
+
+  [[nodiscard]] std::size_t bit_count() const { return bits_; }
+  [[nodiscard]] unsigned hash_count() const { return hashes_; }
+  [[nodiscard]] std::size_t memory_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+  [[nodiscard]] std::uint64_t inserted_count() const { return inserted_; }
+
+  /// Fraction of set bits — the load factor driving the actual FPR.
+  [[nodiscard]] double fill_ratio() const;
+
+  /// Predicted false-positive probability at the current load:
+  /// (set_fraction)^k.
+  [[nodiscard]] double estimated_fpr() const;
+
+  /// Theoretical FPR after n insertions into a fresh filter of this
+  /// geometry: (1 - e^{-kn/m})^k.
+  [[nodiscard]] double theoretical_fpr(std::size_t n) const;
+
+ private:
+  [[nodiscard]] std::size_t probe(const Uint128& key, unsigned i) const;
+
+  std::size_t bits_;
+  unsigned hashes_;
+  std::uint64_t inserted_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace webcache::bloom

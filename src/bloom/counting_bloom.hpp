@@ -1,0 +1,55 @@
+// Counting Bloom filter (Fan et al., "Summary Cache", ToN 2000).
+//
+// The P2P-cache lookup directory churns constantly: every destaged object
+// adds an entry and every client-cache eviction removes one. A plain Bloom
+// filter cannot delete, so the proxy-side Bloom directory uses 4-bit
+// counters exactly as Summary Cache does; 4 bits overflow with probability
+// ~1.37e-15 per counter, which the implementation clamps (saturating) so an
+// overflowing counter degrades to a permanent false positive rather than a
+// false negative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/uint128.hpp"
+
+namespace webcache::bloom {
+
+/// Bloom filter with 4-bit saturating counters supporting erase().
+class CountingBloomFilter {
+ public:
+  /// Same sizing rule as BloomFilter: counters = -n ln p / (ln 2)^2.
+  CountingBloomFilter(std::size_t expected_items, double target_fpr);
+  CountingBloomFilter(std::size_t counters, unsigned hashes);
+
+  void insert(const Uint128& key);
+
+  /// Decrements the key's counters. Erasing a key that was never inserted
+  /// corrupts the filter (as with any counting bloom); callers guard this.
+  void erase(const Uint128& key);
+
+  [[nodiscard]] bool may_contain(const Uint128& key) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t counter_count() const { return counters_; }
+  [[nodiscard]] unsigned hash_count() const { return hashes_; }
+  [[nodiscard]] std::size_t memory_bytes() const { return cells_.size() * sizeof(std::uint8_t); }
+  [[nodiscard]] std::uint64_t saturation_events() const { return saturations_; }
+
+  /// Predicted false-positive probability at current load.
+  [[nodiscard]] double estimated_fpr() const;
+
+ private:
+  static constexpr std::uint8_t kMaxCount = 15;  // 4-bit saturating
+
+  [[nodiscard]] std::size_t probe(const Uint128& key, unsigned i) const;
+
+  std::size_t counters_;
+  unsigned hashes_;
+  std::uint64_t saturations_ = 0;
+  std::vector<std::uint8_t> cells_;  // one byte per 4-bit counter for simplicity of access
+};
+
+}  // namespace webcache::bloom

@@ -1,0 +1,68 @@
+// Replacement-policy cache interface.
+//
+// Every cache in the system — proxy caches, the pooled "ideal" P2P cache of
+// the *-EC upper-bound schemes, and each individual client cache under
+// Hier-GD — is a fixed-capacity store of unit-size objects behind this
+// interface, so schemes differ only in which policy they instantiate and how
+// caches are wired together.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace webcache::cache {
+
+/// Result of attempting to insert an object.
+struct InsertResult {
+  /// False when the policy declined to cache the object (cost-benefit does
+  /// this when the newcomer is worth less than the cheapest incumbent).
+  bool inserted = false;
+  /// Object evicted to make room, when one was.
+  std::optional<ObjectNum> evicted;
+};
+
+/// Abstract fixed-capacity cache of unit-size objects.
+///
+/// Contract:
+///  * size() <= capacity() at all times;
+///  * access() must only be called for objects currently cached;
+///  * insert() must only be called for objects not currently cached;
+///  * `cost` is the retrieval latency the caller paid (or would pay) to
+///    fetch the object; value-based policies (greedy-dual, cost-benefit)
+///    use it, recency/frequency policies ignore it.
+class Cache {
+ public:
+  explicit Cache(std::size_t capacity) : capacity_(capacity) {}
+  virtual ~Cache() = default;
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] bool full() const { return size() >= capacity_; }
+  [[nodiscard]] virtual bool contains(ObjectNum object) const = 0;
+
+  /// Records a hit on a cached object (recency/frequency/value bookkeeping).
+  virtual void access(ObjectNum object, double cost) = 0;
+
+  /// Offers an uncached object for insertion.
+  virtual InsertResult insert(ObjectNum object, double cost) = 0;
+
+  /// Removes a specific object (e.g. invalidation). Returns true if present.
+  virtual bool erase(ObjectNum object) = 0;
+
+  /// The object the policy would evict next, if the cache is non-empty.
+  [[nodiscard]] virtual std::optional<ObjectNum> peek_victim() const = 0;
+
+  /// Snapshot of cached objects in unspecified order (directories, tests).
+  [[nodiscard]] virtual std::vector<ObjectNum> contents() const = 0;
+
+ protected:
+  std::size_t capacity_;
+};
+
+}  // namespace webcache::cache

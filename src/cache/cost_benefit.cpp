@@ -1,0 +1,179 @@
+#include "cache/cost_benefit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace webcache::cache {
+
+CostBenefitCoordinator::CostBenefitCoordinator(std::vector<double> per_proxy_frequency,
+                                               unsigned cluster_size, double server_latency,
+                                               double proxy_latency)
+    : frequency_(std::move(per_proxy_frequency)),
+      cluster_size_(cluster_size),
+      server_latency_(server_latency),
+      proxy_latency_(proxy_latency) {
+  if (cluster_size == 0) {
+    throw std::invalid_argument("CostBenefitCoordinator: cluster_size must be >= 1");
+  }
+  if (!(server_latency > 0.0) || !(proxy_latency >= 0.0) || proxy_latency > server_latency) {
+    throw std::invalid_argument(
+        "CostBenefitCoordinator: need 0 <= proxy_latency <= server_latency, server > 0");
+  }
+}
+
+unsigned CostBenefitCoordinator::replica_count(ObjectNum object) const {
+  const auto it = holders_.find(object);
+  return it == holders_.end() ? 0 : static_cast<unsigned>(it->second.size());
+}
+
+bool CostBenefitCoordinator::held_elsewhere(ObjectNum object,
+                                            const CostBenefitCache* except) const {
+  const auto it = holders_.find(object);
+  if (it == holders_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [except](const CostBenefitCache* c) { return c != except; });
+}
+
+double CostBenefitCoordinator::copy_value(ObjectNum object, unsigned replicas) const {
+  const double f = frequency(object);
+  if (replicas <= 1) {
+    // Sole copy: local clients would fall back to the server (Ts instead of
+    // a free local hit) and every other proxy pays Ts instead of Tc.
+    return f * (server_latency_ +
+                static_cast<double>(cluster_size_ - 1) * (server_latency_ - proxy_latency_));
+  }
+  // Redundant copy: only the local clients lose the proxy-to-proxy saving.
+  return f * proxy_latency_;
+}
+
+void CostBenefitCoordinator::consume(ObjectNum object) {
+  if (object >= frequency_.size()) return;
+  frequency_[object] =
+      std::max(0.0, frequency_[object] - 1.0 / static_cast<double>(cluster_size_));
+  reprice_holders(object);
+}
+
+void CostBenefitCoordinator::reprice_holders(ObjectNum object) {
+  const auto it = holders_.find(object);
+  if (it == holders_.end()) return;
+  const auto replicas = static_cast<unsigned>(it->second.size());
+  const double value = copy_value(object, replicas);
+  for (CostBenefitCache* holder : it->second) {
+    holder->reprice(object, value);
+  }
+}
+
+void CostBenefitCoordinator::register_member(CostBenefitCache* cache) {
+  members_.push_back(cache);
+}
+
+void CostBenefitCoordinator::unregister_member(CostBenefitCache* cache) {
+  std::erase(members_, cache);
+}
+
+void CostBenefitCoordinator::on_copy_added(ObjectNum object, CostBenefitCache* cache) {
+  auto& holders = holders_[object];
+  holders.push_back(cache);
+  if (holders.size() == 2) {
+    // The pre-existing copy is no longer the sole one: price it down.
+    CostBenefitCache* other = holders.front() == cache ? holders.back() : holders.front();
+    other->reprice(object, copy_value(object, 2));
+  }
+}
+
+void CostBenefitCoordinator::on_copy_removed(ObjectNum object, CostBenefitCache* cache) {
+  const auto it = holders_.find(object);
+  assert(it != holders_.end());
+  std::erase(it->second, cache);
+  if (it->second.size() == 1) {
+    // The survivor became the sole copy: price it up.
+    it->second.front()->reprice(object, copy_value(object, 1));
+  } else if (it->second.empty()) {
+    holders_.erase(it);
+  }
+}
+
+// --- member cache -----------------------------------------------------------
+
+CostBenefitCache::CostBenefitCache(std::size_t capacity, CostBenefitCoordinator& coordinator)
+    : Cache(capacity), coordinator_(coordinator) {
+  coordinator_.register_member(this);
+}
+
+CostBenefitCache::~CostBenefitCache() {
+  for (const auto& [object, _] : entries_) {
+    coordinator_.on_copy_removed(object, this);
+  }
+  coordinator_.unregister_member(this);
+}
+
+void CostBenefitCache::access(ObjectNum object, double /*cost*/) {
+  assert(entries_.contains(object) && "CostBenefitCache::access: object not cached");
+  (void)object;  // values are static under perfect frequency knowledge
+}
+
+InsertResult CostBenefitCache::insert(ObjectNum object, double /*cost*/) {
+  assert(!entries_.contains(object) && "CostBenefitCache::insert: object already cached");
+  if (capacity_ == 0) return {};
+
+  const unsigned replicas_after = coordinator_.replica_count(object) + 1;
+  const double new_value = coordinator_.copy_value(object, replicas_after);
+
+  InsertResult result;
+  if (entries_.size() >= capacity_) {
+    const auto victim_it = order_.begin();
+    const double victim_value = std::get<0>(*victim_it);
+    if (new_value <= victim_value) {
+      return result;  // newcomer not worth evicting anything for
+    }
+    const ObjectNum victim = std::get<2>(*victim_it);
+    order_.erase(victim_it);
+    entries_.erase(victim);
+    coordinator_.on_copy_removed(victim, this);
+    result.evicted = victim;
+  }
+
+  result.inserted = true;
+  const Entry e{new_value, ++seq_};
+  entries_.emplace(object, e);
+  order_.insert(key_of(object, e));
+  coordinator_.on_copy_added(object, this);
+  return result;
+}
+
+bool CostBenefitCache::erase(ObjectNum object) {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return false;
+  order_.erase(key_of(object, it->second));
+  entries_.erase(it);
+  coordinator_.on_copy_removed(object, this);
+  return true;
+}
+
+std::optional<ObjectNum> CostBenefitCache::peek_victim() const {
+  if (order_.empty()) return std::nullopt;
+  return std::get<2>(*order_.begin());
+}
+
+std::vector<ObjectNum> CostBenefitCache::contents() const {
+  std::vector<ObjectNum> out;
+  out.reserve(entries_.size());
+  for (const auto& [object, _] : entries_) out.push_back(object);
+  return out;
+}
+
+double CostBenefitCache::value_of(ObjectNum object) const {
+  const auto it = entries_.find(object);
+  return it == entries_.end() ? 0.0 : it->second.value;
+}
+
+void CostBenefitCache::reprice(ObjectNum object, double new_value) {
+  const auto it = entries_.find(object);
+  assert(it != entries_.end() && "CostBenefitCache::reprice: object not cached");
+  order_.erase(key_of(object, it->second));
+  it->second.value = new_value;
+  order_.insert(key_of(object, it->second));
+}
+
+}  // namespace webcache::cache

@@ -1,0 +1,63 @@
+#include "cache/greedy_dual.hpp"
+
+#include <cassert>
+
+namespace webcache::cache {
+
+void GreedyDualCache::access(ObjectNum object, double cost) {
+  const auto it = entries_.find(object);
+  assert(it != entries_.end() && "GreedyDualCache::access: object not cached");
+  order_.erase(key_of(object, it->second));
+  it->second.inflated_credit = cost + inflation_;
+  it->second.seq = ++seq_;
+  order_.insert(key_of(object, it->second));
+}
+
+InsertResult GreedyDualCache::insert(ObjectNum object, double cost) {
+  assert(!entries_.contains(object) && "GreedyDualCache::insert: object already cached");
+  if (capacity_ == 0) return {};
+
+  InsertResult result;
+  result.inserted = true;
+  if (entries_.size() >= capacity_) {
+    const auto victim_it = order_.begin();
+    const ObjectNum victim = std::get<2>(*victim_it);
+    // Deduct the minimum credit from everyone by raising the floor.
+    inflation_ = std::get<0>(*victim_it);
+    order_.erase(victim_it);
+    entries_.erase(victim);
+    result.evicted = victim;
+  }
+  const Entry e{cost + inflation_, ++seq_};
+  entries_.emplace(object, e);
+  order_.insert(key_of(object, e));
+  return result;
+}
+
+bool GreedyDualCache::erase(ObjectNum object) {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return false;
+  order_.erase(key_of(object, it->second));
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<ObjectNum> GreedyDualCache::peek_victim() const {
+  if (order_.empty()) return std::nullopt;
+  return std::get<2>(*order_.begin());
+}
+
+std::vector<ObjectNum> GreedyDualCache::contents() const {
+  std::vector<ObjectNum> out;
+  out.reserve(entries_.size());
+  for (const auto& [object, _] : entries_) out.push_back(object);
+  return out;
+}
+
+double GreedyDualCache::credit(ObjectNum object) const {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return 0.0;
+  return it->second.inflated_credit - inflation_;
+}
+
+}  // namespace webcache::cache

@@ -1,0 +1,72 @@
+// Greedy-dual replacement (N. Young, "On-line file caching", SODA 1998).
+//
+// Hier-GD runs this policy at the proxy *and* inside every client cache.
+// Each cached object carries a credit H initialized to its retrieval cost;
+// eviction removes the minimum-H object and conceptually deducts that
+// minimum from every remaining object's credit; a hit restores the object's
+// credit to its cost. Korupolu & Dahlin observed that greedy-dual gives
+// *implicit* coordination between cooperating caches — cheap-to-refetch
+// objects (available from a nearby cache) are evicted before expensive ones
+// — which is the property Hier-GD builds on.
+//
+// This is the "efficient implementation" the paper cites: instead of
+// decrementing every credit on each eviction (O(n)), a global inflation
+// value L accumulates the deducted minima, credits are stored as H + L at
+// the time they were set, and comparisons remain consistent — O(log n) per
+// operation via an ordered set.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "cache/cache.hpp"
+
+namespace webcache::cache {
+
+class GreedyDualCache final : public Cache {
+ public:
+  explicit GreedyDualCache(std::size_t capacity) : Cache(capacity) {}
+
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] bool contains(ObjectNum object) const override {
+    return entries_.contains(object);
+  }
+
+  /// On a hit, the object's credit resets to `cost` (plus inflation).
+  void access(ObjectNum object, double cost) override;
+
+  /// Inserts with credit = `cost` (plus inflation), evicting the minimum-
+  /// credit object when full.
+  InsertResult insert(ObjectNum object, double cost) override;
+
+  bool erase(ObjectNum object) override;
+  [[nodiscard]] std::optional<ObjectNum> peek_victim() const override;
+  [[nodiscard]] std::vector<ObjectNum> contents() const override;
+
+  /// Current (deflated) credit of a cached object: H as the textbook
+  /// algorithm defines it. Exposed for the brute-force equivalence tests.
+  [[nodiscard]] double credit(ObjectNum object) const;
+
+  /// Accumulated inflation L (sum of eviction minima).
+  [[nodiscard]] double inflation() const { return inflation_; }
+
+ private:
+  struct Entry {
+    double inflated_credit;  // cost + inflation at set time
+    std::uint64_t seq;       // FIFO tie-break among equal credits
+  };
+  using Key = std::tuple<double, std::uint64_t, ObjectNum>;
+
+  [[nodiscard]] Key key_of(ObjectNum object, const Entry& e) const {
+    return {e.inflated_credit, e.seq, object};
+  }
+
+  double inflation_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::set<Key> order_;
+  std::unordered_map<ObjectNum, Entry> entries_;
+};
+
+}  // namespace webcache::cache

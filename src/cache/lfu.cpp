@@ -1,0 +1,81 @@
+#include "cache/lfu.hpp"
+
+#include <cassert>
+
+namespace webcache::cache {
+
+void LfuCache::access(ObjectNum object, double /*cost*/) {
+  const auto it = entries_.find(object);
+  assert(it != entries_.end() && "LfuCache::access: object not cached");
+  order_.erase(key_of(object, it->second));
+  ++it->second.freq;
+  // LFU-DA re-keys from the current floor on every hit, so a re-warming
+  // object immediately out-keys everything the aging has devalued.
+  it->second.key = mode_ == LfuMode::kDynamicAging ? it->second.freq + aging_floor_
+                                                   : it->second.freq;
+  it->second.last_seq = ++seq_;
+  order_.insert(key_of(object, it->second));
+  if (mode_ == LfuMode::kPerfect) ++history_[object];
+}
+
+InsertResult LfuCache::insert(ObjectNum object, double /*cost*/) {
+  assert(!entries_.contains(object) && "LfuCache::insert: object already cached");
+  if (capacity_ == 0) return {};
+
+  std::uint64_t start_freq = 1;
+  if (mode_ == LfuMode::kPerfect) {
+    start_freq = ++history_[object];
+  }
+
+  InsertResult result;
+  result.inserted = true;
+  if (entries_.size() >= capacity_) {
+    const auto victim_it = order_.begin();
+    const ObjectNum victim = std::get<2>(*victim_it);
+    if (mode_ == LfuMode::kDynamicAging) {
+      // The victim's key becomes the new floor: everything still cached is
+      // effectively aged by that amount (same inflation trick greedy-dual
+      // uses, with cost = 1 per access).
+      aging_floor_ = std::get<0>(*victim_it);
+    }
+    order_.erase(victim_it);
+    entries_.erase(victim);
+    result.evicted = victim;
+  }
+  const Entry e{start_freq,
+                mode_ == LfuMode::kDynamicAging ? start_freq + aging_floor_ : start_freq,
+                ++seq_};
+  entries_.emplace(object, e);
+  order_.insert(key_of(object, e));
+  return result;
+}
+
+bool LfuCache::erase(ObjectNum object) {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return false;
+  order_.erase(key_of(object, it->second));
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<ObjectNum> LfuCache::peek_victim() const {
+  if (order_.empty()) return std::nullopt;
+  return std::get<2>(*order_.begin());
+}
+
+std::vector<ObjectNum> LfuCache::contents() const {
+  std::vector<ObjectNum> out;
+  out.reserve(entries_.size());
+  for (const auto& [object, _] : entries_) out.push_back(object);
+  return out;
+}
+
+std::uint64_t LfuCache::frequency(ObjectNum object) const {
+  if (const auto it = entries_.find(object); it != entries_.end()) return it->second.freq;
+  if (mode_ == LfuMode::kPerfect) {
+    if (const auto it = history_.find(object); it != history_.end()) return it->second;
+  }
+  return 0;
+}
+
+}  // namespace webcache::cache

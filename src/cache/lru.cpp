@@ -1,0 +1,46 @@
+#include "cache/lru.hpp"
+
+#include <cassert>
+
+namespace webcache::cache {
+
+void LruCache::access(ObjectNum object, double /*cost*/) {
+  const auto it = index_.find(object);
+  assert(it != index_.end() && "LruCache::access: object not cached");
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+InsertResult LruCache::insert(ObjectNum object, double /*cost*/) {
+  assert(!index_.contains(object) && "LruCache::insert: object already cached");
+  if (capacity_ == 0) return {};
+  InsertResult result;
+  result.inserted = true;
+  if (index_.size() >= capacity_) {
+    const ObjectNum victim = order_.back();
+    order_.pop_back();
+    index_.erase(victim);
+    result.evicted = victim;
+  }
+  order_.push_front(object);
+  index_.emplace(object, order_.begin());
+  return result;
+}
+
+bool LruCache::erase(ObjectNum object) {
+  const auto it = index_.find(object);
+  if (it == index_.end()) return false;
+  order_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+std::optional<ObjectNum> LruCache::peek_victim() const {
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+std::vector<ObjectNum> LruCache::contents() const {
+  return {order_.begin(), order_.end()};
+}
+
+}  // namespace webcache::cache

@@ -1,0 +1,35 @@
+// Least-Recently-Used cache: classic doubly-linked recency list over an
+// unordered index; all operations O(1). Used by the temporal-locality model
+// inside ProWGen, as a baseline policy in the ablation benches, and as the
+// reference recency structure in tests.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.hpp"
+
+namespace webcache::cache {
+
+class LruCache final : public Cache {
+ public:
+  explicit LruCache(std::size_t capacity) : Cache(capacity) {}
+
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] bool contains(ObjectNum object) const override {
+    return index_.contains(object);
+  }
+
+  void access(ObjectNum object, double cost) override;
+  InsertResult insert(ObjectNum object, double cost) override;
+  bool erase(ObjectNum object) override;
+  [[nodiscard]] std::optional<ObjectNum> peek_victim() const override;
+  [[nodiscard]] std::vector<ObjectNum> contents() const override;
+
+ private:
+  // Front = most recently used.
+  std::list<ObjectNum> order_;
+  std::unordered_map<ObjectNum, std::list<ObjectNum>::iterator> index_;
+};
+
+}  // namespace webcache::cache

@@ -1,0 +1,63 @@
+// SHA-1 implemented from scratch per RFC 3174 / FIPS 180-1.
+//
+// The paper hashes object URLs with SHA-1 to produce 128-bit objectIds that
+// are mapped onto the Pastry identifier ring, and assigns client cacheIds the
+// same way. SHA-1 is not used here for any security purpose — only as the
+// uniform hash the original system specifies — so the known collision
+// weaknesses are irrelevant to the simulation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/uint128.hpp"
+
+namespace webcache {
+
+/// Incremental SHA-1 hasher. Feed bytes with update(), then call digest().
+/// A Sha1 instance can be reused after reset().
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha1() { reset(); }
+
+  /// Restores the initial hash state, discarding any buffered input.
+  void reset();
+
+  /// Absorbs `len` bytes starting at `data`.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 20-byte digest. The instance must be reset()
+  /// before further use.
+  [[nodiscard]] Digest digest();
+
+  /// One-shot convenience: SHA-1 of a string.
+  [[nodiscard]] static Digest hash(std::string_view s) {
+    Sha1 h;
+    h.update(s);
+    return h.digest();
+  }
+
+  /// First 128 bits of SHA-1(s), big-endian — the identifier form used for
+  /// both objectIds (SHA-1 of the URL) and cacheIds on the Pastry ring.
+  [[nodiscard]] static Uint128 hash128(std::string_view s);
+
+  /// Lowercase hex string of a digest.
+  [[nodiscard]] static std::string to_hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace webcache

@@ -1,0 +1,74 @@
+// Streaming statistics used throughout the simulator and benches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace webcache {
+
+/// Welford single-pass accumulator: mean / variance / min / max without
+/// storing samples. Numerically stable for the billions of latency samples
+/// a full sweep produces.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Pools another accumulator into this one (Chan et al. parallel update),
+  /// so per-shard stats can be merged exactly.
+  void merge(const RunningStat& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); samples outside are clamped into the
+/// end buckets. Used for latency and hop-count distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Value below which `q` (0..1) of the mass lies, linearly interpolated
+  /// within the containing bucket.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Multi-line ASCII rendering for bench output.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace webcache

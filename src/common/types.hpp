@@ -1,0 +1,41 @@
+// Core value types shared across the simulator: objects, requests, and the
+// strongly-typed integer ids that keep proxy/client/object indices from being
+// mixed up at call sites.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace webcache {
+
+/// Dense integer identifying a distinct web object within a trace.
+/// ObjectNum 0 is the most popular object of the synthetic workloads.
+using ObjectNum = std::uint32_t;
+
+/// Index of a client within its client cluster.
+using ClientNum = std::uint32_t;
+
+/// Index of a proxy within the proxy cluster.
+using ProxyNum = std::uint32_t;
+
+/// Simulated object size in bytes. The paper's experiments use unit-size
+/// objects; the workload library still carries true sizes for trace tooling.
+using ObjectSize = std::uint64_t;
+
+/// One HTTP request as consumed by the simulator.
+struct Request {
+  std::uint64_t time = 0;   ///< logical timestamp (request sequence number)
+  ClientNum client = 0;     ///< issuing client within its cluster
+  ObjectNum object = 0;     ///< dense object id
+  ObjectSize size = 1;      ///< object size (1 in the paper's experiments)
+};
+
+/// Canonical URL for a dense object id. The simulator mostly works with
+/// dense ids; URLs only matter where the paper specifies SHA-1(URL), i.e.
+/// when placing objects on the Pastry ring.
+[[nodiscard]] inline std::string object_url(ObjectNum object) {
+  return "http://origin.example.com/object/" + std::to_string(object);
+}
+
+}  // namespace webcache

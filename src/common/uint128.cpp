@@ -1,0 +1,40 @@
+#include "common/uint128.hpp"
+
+#include <stdexcept>
+
+namespace webcache {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string Uint128::to_hex() const {
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    s[static_cast<std::size_t>(i)] = kHexDigits[(hi >> (60 - 4 * i)) & 0xF];
+    s[static_cast<std::size_t>(16 + i)] = kHexDigits[(lo >> (60 - 4 * i)) & 0xF];
+  }
+  return s;
+}
+
+Uint128 Uint128::from_hex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 32) {
+    throw std::invalid_argument("Uint128::from_hex: need 1..32 hex digits");
+  }
+  Uint128 v;
+  for (char c : hex) {
+    const int d = hex_value(c);
+    if (d < 0) throw std::invalid_argument("Uint128::from_hex: invalid hex digit");
+    v = (v << 4) | Uint128{0, static_cast<std::uint64_t>(d)};
+  }
+  return v;
+}
+
+}  // namespace webcache

@@ -1,0 +1,135 @@
+// 128-bit unsigned integer used for Pastry node identifiers and SHA-1-derived
+// object identifiers. Pastry needs digit extraction in base 2^b, prefix
+// comparison, and numeric (ring) distance; all are provided here without any
+// dependency on compiler-specific __int128 so the representation is portable
+// and its layout explicit.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace webcache {
+
+/// Fixed-width 128-bit unsigned integer, big-endian by limb: hi holds the
+/// most significant 64 bits. Identifiers live on a ring of size 2^128.
+struct Uint128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr Uint128() = default;
+  constexpr Uint128(std::uint64_t high, std::uint64_t low) : hi(high), lo(low) {}
+
+  /// Implicit widening from 64-bit values keeps call sites readable.
+  constexpr Uint128(std::uint64_t low) : hi(0), lo(low) {}  // NOLINT(google-explicit-constructor)
+
+  friend constexpr bool operator==(const Uint128&, const Uint128&) = default;
+  friend constexpr std::strong_ordering operator<=>(const Uint128& a, const Uint128& b) {
+    if (auto c = a.hi <=> b.hi; c != 0) return c;
+    return a.lo <=> b.lo;
+  }
+
+  friend constexpr Uint128 operator+(Uint128 a, Uint128 b) {
+    Uint128 r;
+    r.lo = a.lo + b.lo;
+    r.hi = a.hi + b.hi + (r.lo < a.lo ? 1 : 0);
+    return r;
+  }
+
+  friend constexpr Uint128 operator-(Uint128 a, Uint128 b) {
+    Uint128 r;
+    r.lo = a.lo - b.lo;
+    r.hi = a.hi - b.hi - (a.lo < b.lo ? 1 : 0);
+    return r;
+  }
+
+  friend constexpr Uint128 operator^(Uint128 a, Uint128 b) {
+    return {a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+
+  friend constexpr Uint128 operator&(Uint128 a, Uint128 b) {
+    return {a.hi & b.hi, a.lo & b.lo};
+  }
+
+  friend constexpr Uint128 operator|(Uint128 a, Uint128 b) {
+    return {a.hi | b.hi, a.lo | b.lo};
+  }
+
+  friend constexpr Uint128 operator<<(Uint128 a, unsigned n) {
+    if (n == 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {a.lo << (n - 64), 0};
+    return {(a.hi << n) | (a.lo >> (64 - n)), a.lo << n};
+  }
+
+  friend constexpr Uint128 operator>>(Uint128 a, unsigned n) {
+    if (n == 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {0, a.hi >> (n - 64)};
+    return {a.hi >> n, (a.lo >> n) | (a.hi << (64 - n))};
+  }
+
+  /// Extracts the digit at position `index` (0 = most significant) when the
+  /// 128-bit value is read as a string of digits in base 2^bits_per_digit.
+  /// Pastry routes by correcting one such digit per hop.
+  [[nodiscard]] constexpr unsigned digit(unsigned index, unsigned bits_per_digit) const {
+    const unsigned shift = 128 - (index + 1) * bits_per_digit;
+    const Uint128 d = (*this >> shift) & Uint128{0, (1ULL << bits_per_digit) - 1};
+    return static_cast<unsigned>(d.lo);
+  }
+
+  /// Length of the shared digit prefix with `other` in base 2^bits_per_digit.
+  [[nodiscard]] constexpr unsigned shared_prefix_length(const Uint128& other,
+                                                        unsigned bits_per_digit) const {
+    const unsigned num_digits = 128 / bits_per_digit;
+    for (unsigned i = 0; i < num_digits; ++i) {
+      if (digit(i, bits_per_digit) != other.digit(i, bits_per_digit)) return i;
+    }
+    return num_digits;
+  }
+
+  /// Distance on the 2^128 identifier ring (minimum of the two arc lengths).
+  [[nodiscard]] static constexpr Uint128 ring_distance(const Uint128& a, const Uint128& b) {
+    const Uint128 d1 = a - b;
+    const Uint128 d2 = b - a;
+    return d1 < d2 ? d1 : d2;
+  }
+
+  /// Clockwise (increasing-id, wrapping) distance from `from` to `to`.
+  [[nodiscard]] static constexpr Uint128 clockwise_distance(const Uint128& from,
+                                                            const Uint128& to) {
+    return to - from;
+  }
+
+  /// 32-hex-digit representation, most significant nibble first.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Parses a hex string (up to 32 digits, no prefix). Throws std::invalid_argument.
+  [[nodiscard]] static Uint128 from_hex(const std::string& hex);
+
+  /// Constructs from the leading 16 bytes of a byte array (big-endian),
+  /// the form in which SHA-1 digests are consumed.
+  [[nodiscard]] static constexpr Uint128 from_bytes(const std::array<std::uint8_t, 16>& bytes) {
+    Uint128 v;
+    for (int i = 0; i < 8; ++i) v.hi = (v.hi << 8) | bytes[static_cast<std::size_t>(i)];
+    for (int i = 8; i < 16; ++i) v.lo = (v.lo << 8) | bytes[static_cast<std::size_t>(i)];
+    return v;
+  }
+};
+
+/// Hash functor so identifiers can key unordered containers.
+struct Uint128Hash {
+  std::size_t operator()(const Uint128& v) const noexcept {
+    // splitmix-style mix of the two limbs; cheap and well distributed.
+    std::uint64_t x = v.hi * 0x9e3779b97f4a7c15ULL ^ v.lo;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace webcache

@@ -1,0 +1,105 @@
+#include "common/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace webcache {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (alpha < 0) throw std::invalid_argument("ZipfSampler: alpha must be >= 0");
+
+  pmf_.resize(n);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    norm += pmf_[i];
+  }
+  for (auto& p : pmf_) p /= norm;
+
+  // Walker/Vose alias construction.
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = pmf_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers get probability 1 (self-alias).
+  for (const std::uint32_t i : large) probability_[i] = 1.0;
+  for (const std::uint32_t i : small) probability_[i] = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const std::size_t column = static_cast<std::size_t>(rng.next_below(probability_.size()));
+  return rng.next_double() < probability_[column] ? column : alias_[column];
+}
+
+// --- rejection-inversion ---------------------------------------------------
+
+ZipfRejection::ZipfRejection(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfRejection: n must be >= 1");
+  if (alpha < 0) throw std::invalid_argument("ZipfRejection: alpha must be >= 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfRejection::h(double x) const { return std::exp(-alpha_ * std::log(x)); }
+
+double ZipfRejection::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // Integral of x^-alpha; the helper below is numerically stable near
+  // alpha = 1 where the closed form degenerates to log(x).
+  const double t = (1.0 - alpha_) * log_x;
+  double helper;  // (exp(t) - 1) / t, stable for small t
+  if (std::abs(t) > 1e-8) {
+    helper = std::expm1(t) / t;
+  } else {
+    helper = 1.0 + t * 0.5 * (1.0 + t / 3.0 * (1.0 + 0.25 * t));
+  }
+  return log_x * helper;
+}
+
+double ZipfRejection::h_integral_inverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the branch point
+  double log_result;
+  if (std::abs(t) > 1e-8) {
+    log_result = std::log1p(t) / (1.0 - alpha_);
+  } else {
+    log_result = x * (1.0 - 0.5 * t * (1.0 - t * (2.0 / 3.0)));
+  }
+  return std::exp(log_result);
+}
+
+std::uint64_t ZipfRejection::sample(Rng& rng) const {
+  for (;;) {
+    const double u = h_integral_n_ + rng.next_double() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace webcache

@@ -1,0 +1,65 @@
+// Zipf-like popularity sampling.
+//
+// Web object popularity follows a Zipf-like law: the i-th most popular
+// object is requested with probability proportional to 1/i^alpha (Breslau et
+// al., INFOCOM'99). ProWGen and the paper's experiments vary alpha in
+// {0.5, 0.7, 1.0}. Two samplers are provided:
+//   * ZipfSampler     — O(1) per sample via Walker/Vose alias tables; used by
+//                       the workload generators (fixed, known N).
+//   * ZipfRejection   — O(1) amortized rejection-inversion (Hörmann) with no
+//                       O(N) table; used in tests and for very large N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace webcache {
+
+/// Alias-method sampler over ranks {0, ..., n-1} with P(i) ∝ 1/(i+1)^alpha.
+class ZipfSampler {
+ public:
+  /// Builds the alias table in O(n). alpha must be >= 0 (alpha = 0 degrades
+  /// to the uniform distribution); n must be >= 1.
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular object.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return probability_.size(); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Exact probability of rank i under the distribution (for tests).
+  [[nodiscard]] double probability(std::size_t i) const { return pmf_[i]; }
+
+ private:
+  double alpha_;
+  std::vector<double> pmf_;          // normalized probabilities, by rank
+  std::vector<double> probability_;  // alias-table acceptance thresholds
+  std::vector<std::uint32_t> alias_; // alias targets
+};
+
+/// Rejection-inversion sampler (W. Hörmann & G. Derflinger, "Rejection-
+/// inversion to generate variates from monotone discrete distributions",
+/// TOMACS 1996) for P(i) ∝ 1/i^alpha over i in [1, n]. No per-element state.
+class ZipfRejection {
+ public:
+  ZipfRejection(std::uint64_t n, double alpha);
+
+  /// Draws a value in [1, n].
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+ private:
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace webcache

@@ -1,0 +1,184 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace webcache::core {
+
+std::vector<double> default_cache_percents() {
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+ObjectNum cluster_infinite_cache_size(const workload::Trace& trace, unsigned num_proxies) {
+  if (num_proxies == 0) {
+    throw std::invalid_argument("cluster_infinite_cache_size: num_proxies must be >= 1");
+  }
+  // Frequency of each object within proxy 0's round-robin substream; the
+  // streams are statistically identical, so one cluster stands for all.
+  std::unordered_map<ObjectNum, std::uint64_t> freq;
+  for (std::size_t t = 0; t < trace.requests.size(); t += num_proxies) {
+    ++freq[trace.requests[t].object];
+  }
+  ObjectNum multi = 0;
+  for (const auto& [_, f] : freq) {
+    if (f > 1) ++multi;
+  }
+  return multi;
+}
+
+namespace {
+
+std::size_t capacity_from_percent(double percent, ObjectNum infinite_size) {
+  const auto cap = static_cast<std::size_t>(
+      std::llround(percent / 100.0 * static_cast<double>(infinite_size)));
+  return std::max<std::size_t>(1, cap);
+}
+
+}  // namespace
+
+SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
+  if (config.cache_percents.empty()) {
+    throw std::invalid_argument("run_sweep: no cache sizes given");
+  }
+  if (trace.empty()) {
+    throw std::invalid_argument("run_sweep: empty trace");
+  }
+
+  SweepResult result;
+  result.cache_percents = config.cache_percents;
+  result.schemes = config.schemes;
+  result.infinite_cache_size = cluster_infinite_cache_size(trace, config.base.num_proxies);
+  result.client_cache_capacity = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(config.client_cache_percent / 100.0 *
+                          static_cast<double>(result.infinite_cache_size))));
+
+  const std::size_t num_sizes = config.cache_percents.size();
+  const std::size_t num_schemes = config.schemes.size();
+  result.metrics.assign(num_sizes, std::vector<sim::Metrics>(num_schemes));
+  result.baseline.assign(num_sizes, sim::Metrics{});
+  result.gains.assign(num_sizes, std::vector<double>(num_schemes, 0.0));
+
+  // Flatten all independent runs into one job list. Job index j encodes
+  // (size i, scheme k) with k == num_schemes meaning the NC baseline.
+  struct Job {
+    std::size_t size_index;
+    std::size_t scheme_index;  // == num_schemes -> baseline NC
+  };
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < num_sizes; ++i) {
+    jobs.push_back({i, num_schemes});
+    for (std::size_t k = 0; k < num_schemes; ++k) {
+      if (config.schemes[k] == sim::Scheme::kNC) continue;  // reuse the baseline
+      jobs.push_back({i, k});
+    }
+  }
+
+  const auto make_config = [&](std::size_t size_index, sim::Scheme scheme) {
+    sim::SimConfig c = config.base;
+    c.scheme = scheme;
+    c.proxy_capacity =
+        capacity_from_percent(config.cache_percents[size_index], result.infinite_cache_size);
+    c.client_cache_capacity = result.client_cache_capacity;
+    // Failure events only apply to schemes with addressable client caches.
+    if (scheme != sim::Scheme::kHierGD && scheme != sim::Scheme::kSquirrel) {
+      c.client_failures.clear();
+    }
+    return c;
+  };
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t j = next.fetch_add(1);
+      if (j >= jobs.size()) return;
+      const Job& job = jobs[j];
+      const sim::Scheme scheme =
+          job.scheme_index == num_schemes ? sim::Scheme::kNC : config.schemes[job.scheme_index];
+      const auto metrics = sim::run_simulation(make_config(job.size_index, scheme), trace);
+      if (job.scheme_index == num_schemes) {
+        result.baseline[job.size_index] = metrics;
+      } else {
+        result.metrics[job.size_index][job.scheme_index] = metrics;
+      }
+    }
+  };
+
+  unsigned threads = config.threads == 0 ? std::thread::hardware_concurrency() : config.threads;
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(jobs.size())));
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < num_sizes; ++i) {
+    for (std::size_t k = 0; k < num_schemes; ++k) {
+      if (config.schemes[k] == sim::Scheme::kNC) {
+        result.metrics[i][k] = result.baseline[i];
+        result.gains[i][k] = 0.0;
+      } else {
+        result.gains[i][k] =
+            100.0 * sim::latency_gain(result.baseline[i], result.metrics[i][k]);
+      }
+    }
+  }
+  return result;
+}
+
+void print_gain_table(std::ostream& out, const SweepResult& result, const std::string& title) {
+  out << "# " << title << "\n";
+  out << "# infinite cache size = " << result.infinite_cache_size
+      << " objects; client cache = " << result.client_cache_capacity << " objects\n";
+  out << std::left << std::setw(10) << "# cache%";
+  for (const auto s : result.schemes) {
+    out << std::setw(10) << sim::to_string(s);
+  }
+  out << "\n" << std::fixed << std::setprecision(2);
+  for (std::size_t i = 0; i < result.cache_percents.size(); ++i) {
+    out << std::setw(10) << result.cache_percents[i];
+    for (std::size_t k = 0; k < result.schemes.size(); ++k) {
+      out << std::setw(10) << result.gains[i][k];
+    }
+    out << "\n";
+  }
+  out.flush();
+}
+
+void write_gain_csv(std::ostream& out, const SweepResult& result) {
+  out << "cache_percent,scheme,latency_gain_percent,mean_latency,hit_ratio,"
+         "local_proxy_hits,local_p2p_hits,remote_proxy_hits,remote_p2p_hits,"
+         "server_fetches\n";
+  for (std::size_t i = 0; i < result.cache_percents.size(); ++i) {
+    for (std::size_t k = 0; k < result.schemes.size(); ++k) {
+      const auto& m = result.metrics[i][k];
+      out << result.cache_percents[i] << ',' << sim::to_string(result.schemes[k]) << ','
+          << result.gains[i][k] << ',' << m.mean_latency() << ',' << m.hit_ratio() << ','
+          << m.hits_local_proxy << ',' << m.hits_local_p2p << ',' << m.hits_remote_proxy
+          << ',' << m.hits_remote_p2p << ',' << m.server_fetches << '\n';
+    }
+  }
+  out.flush();
+}
+
+SingleRun run_single(const workload::Trace& trace, sim::SimConfig config) {
+  SingleRun r;
+  r.metrics = sim::run_simulation(config, trace);
+  sim::SimConfig nc = config;
+  nc.scheme = sim::Scheme::kNC;
+  nc.client_failures.clear();  // NC has no addressable client caches
+  r.baseline = config.scheme == sim::Scheme::kNC ? r.metrics : sim::run_simulation(nc, trace);
+  r.gain_percent = 100.0 * sim::latency_gain(r.baseline, r.metrics);
+  return r;
+}
+
+}  // namespace webcache::core

@@ -1,0 +1,72 @@
+// Public experiment facade: runs the paper's experiment shape — a sweep of
+// proxy cache sizes (as a percentage of the "infinite cache size") for a set
+// of schemes over one trace — and prints latency-gain tables in the layout
+// of the paper's figures. Every bench binary is a thin wrapper around this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace webcache::core {
+
+/// The paper's x-axis: 10% .. 100% of the infinite cache size.
+[[nodiscard]] std::vector<double> default_cache_percents();
+
+/// The "infinite cache size" of one client cluster's request stream: the
+/// number of distinct objects requested more than once by the clients of a
+/// single proxy under round-robin request partitioning (paper Section 5.1).
+[[nodiscard]] ObjectNum cluster_infinite_cache_size(const workload::Trace& trace,
+                                                    unsigned num_proxies);
+
+struct SweepConfig {
+  std::vector<sim::Scheme> schemes{sim::kAllSchemes.begin(), sim::kAllSchemes.end()};
+  std::vector<double> cache_percents = default_cache_percents();
+  /// Per-client cooperative cache, as a percent of the infinite cache size
+  /// (paper: 0.1%, so a 100-client cluster pools 10%).
+  double client_cache_percent = 0.1;
+  /// Template for everything not swept (scheme/capacities are overwritten).
+  sim::SimConfig base{};
+  /// Worker threads for the independent (size x scheme) runs; 0 = hardware
+  /// concurrency.
+  unsigned threads = 0;
+};
+
+struct SweepResult {
+  std::vector<double> cache_percents;
+  std::vector<sim::Scheme> schemes;
+  /// metrics[i][j]: cache_percents[i] x schemes[j].
+  std::vector<std::vector<sim::Metrics>> metrics;
+  /// NC baseline per cache size (for the gain denominator).
+  std::vector<sim::Metrics> baseline;
+  /// gains[i][j] = 1 - L_scheme / L_NC, as a percentage.
+  std::vector<std::vector<double>> gains;
+  ObjectNum infinite_cache_size = 0;
+  std::size_t client_cache_capacity = 0;
+};
+
+/// Runs the sweep. The NC baseline is always computed (reused when NC is in
+/// `schemes`). Deterministic regardless of thread count.
+[[nodiscard]] SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config);
+
+/// Prints the gnuplot-style series table the paper's figures plot:
+/// one row per cache size, one latency-gain column per scheme.
+void print_gain_table(std::ostream& out, const SweepResult& result, const std::string& title);
+
+/// Machine-readable CSV: cache_percent, scheme, latency gain, mean latency,
+/// hit ratios per outcome. One row per (size, scheme).
+void write_gain_csv(std::ostream& out, const SweepResult& result);
+
+/// Single-configuration convenience used by examples: runs `scheme` and NC
+/// at one cache size and returns (metrics, gain%).
+struct SingleRun {
+  sim::Metrics metrics;
+  sim::Metrics baseline;
+  double gain_percent = 0.0;
+};
+[[nodiscard]] SingleRun run_single(const workload::Trace& trace, sim::SimConfig config);
+
+}  // namespace webcache::core

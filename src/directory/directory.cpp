@@ -1,0 +1,47 @@
+#include "directory/directory.hpp"
+
+#include <stdexcept>
+
+#include "common/sha1.hpp"
+
+namespace webcache::directory {
+
+BloomDirectory::BloomDirectory(std::shared_ptr<const std::vector<Uint128>> object_ids,
+                               std::size_t expected_entries, double target_fpr)
+    : object_ids_(std::move(object_ids)), filter_(expected_entries, target_fpr) {
+  if (!object_ids_) {
+    throw std::invalid_argument("BloomDirectory: object id table required");
+  }
+}
+
+const Uint128& BloomDirectory::id_of(ObjectNum object) const {
+  if (object >= object_ids_->size()) {
+    throw std::out_of_range("BloomDirectory: object outside the id table");
+  }
+  return (*object_ids_)[object];
+}
+
+void BloomDirectory::add(ObjectNum object) {
+  filter_.insert(id_of(object));
+  ++entries_;
+}
+
+void BloomDirectory::remove(ObjectNum object) {
+  filter_.erase(id_of(object));
+  if (entries_ > 0) --entries_;
+}
+
+bool BloomDirectory::may_contain(ObjectNum object) const {
+  return filter_.may_contain(id_of(object));
+}
+
+std::shared_ptr<const std::vector<Uint128>> build_object_id_table(ObjectNum distinct_objects) {
+  auto table = std::make_shared<std::vector<Uint128>>();
+  table->reserve(distinct_objects);
+  for (ObjectNum o = 0; o < distinct_objects; ++o) {
+    table->push_back(Sha1::hash128(object_url(o)));
+  }
+  return table;
+}
+
+}  // namespace webcache::directory

@@ -1,0 +1,95 @@
+// Proxy-side lookup directory of the P2P client cache (paper Section 4.2).
+//
+// The proxy must know whether a missed object *might* live in its P2P client
+// cache before redirecting the request into the overlay. Two representations
+// are implemented, matching the paper:
+//   * ExactDirectory — a hashtable of all cached objectIds; no false
+//     positives, memory proportional to entries;
+//   * BloomDirectory — a counting Bloom filter (deletions happen constantly
+//     as client caches evict); small and constant-size, but false positives
+//     send requests into the overlay for objects that are not there, costing
+//     an extra Tp2p before falling back.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/counting_bloom.hpp"
+#include "common/types.hpp"
+#include "common/uint128.hpp"
+
+namespace webcache::directory {
+
+class LookupDirectory {
+ public:
+  virtual ~LookupDirectory() = default;
+
+  /// Registers a store receipt: `object` is now in the P2P client cache.
+  virtual void add(ObjectNum object) = 0;
+
+  /// Processes an eviction notice: `object` left the P2P client cache.
+  virtual void remove(ObjectNum object) = 0;
+
+  /// May return false positives depending on the representation; never
+  /// false negatives (given consistent add/remove).
+  [[nodiscard]] virtual bool may_contain(ObjectNum object) const = 0;
+
+  [[nodiscard]] virtual std::size_t entry_count() const = 0;
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+  [[nodiscard]] virtual std::string kind() const = 0;
+};
+
+/// Hashtable of the objectIds cached in the P2P client cache.
+class ExactDirectory final : public LookupDirectory {
+ public:
+  void add(ObjectNum object) override { entries_.insert(object); }
+  void remove(ObjectNum object) override { entries_.erase(object); }
+  [[nodiscard]] bool may_contain(ObjectNum object) const override {
+    return entries_.contains(object);
+  }
+  [[nodiscard]] std::size_t entry_count() const override { return entries_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    // Hashtable of 128-bit objectIds (as the paper describes it): id plus
+    // typical open-hashing overhead of one pointer per entry.
+    return entries_.size() * (sizeof(Uint128) + sizeof(void*));
+  }
+  [[nodiscard]] std::string kind() const override { return "exact"; }
+
+ private:
+  std::unordered_set<ObjectNum> entries_;
+};
+
+/// Counting-Bloom-filter directory over SHA-1 objectIds.
+class BloomDirectory final : public LookupDirectory {
+ public:
+  /// `object_ids[o]` is the 128-bit objectId of dense object o (shared,
+  /// not owned); `expected_entries`/`target_fpr` size the filter.
+  BloomDirectory(std::shared_ptr<const std::vector<Uint128>> object_ids,
+                 std::size_t expected_entries, double target_fpr);
+
+  void add(ObjectNum object) override;
+  void remove(ObjectNum object) override;
+  [[nodiscard]] bool may_contain(ObjectNum object) const override;
+  [[nodiscard]] std::size_t entry_count() const override { return entries_; }
+  [[nodiscard]] std::size_t memory_bytes() const override { return filter_.memory_bytes(); }
+  [[nodiscard]] std::string kind() const override { return "bloom"; }
+
+  [[nodiscard]] const bloom::CountingBloomFilter& filter() const { return filter_; }
+
+ private:
+  [[nodiscard]] const Uint128& id_of(ObjectNum object) const;
+
+  std::shared_ptr<const std::vector<Uint128>> object_ids_;
+  bloom::CountingBloomFilter filter_;
+  std::size_t entries_ = 0;
+};
+
+/// Builds the dense-object-id -> SHA-1(URL) table shared by Bloom
+/// directories and the Pastry placement logic.
+[[nodiscard]] std::shared_ptr<const std::vector<Uint128>> build_object_id_table(
+    ObjectNum distinct_objects);
+
+}  // namespace webcache::directory

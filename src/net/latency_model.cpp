@@ -1,0 +1,51 @@
+#include "net/latency_model.hpp"
+
+namespace webcache::net {
+
+LatencyModel LatencyModel::from_ratios(double ts_over_tc, double ts_over_tl,
+                                       double tp2p_over_tl) {
+  if (ts_over_tc < 1.0 || ts_over_tl < 1.0 || tp2p_over_tl <= 0.0) {
+    throw std::invalid_argument("LatencyModel: ratios must satisfy Ts >= Tc, Ts >= Tl, Tp2p > 0");
+  }
+  const double tl = 1.0;
+  const double ts = ts_over_tl * tl;
+  const double tc = ts / ts_over_tc;
+  const double tp2p = tp2p_over_tl * tl;
+  return LatencyModel(ts, tc, tl, tp2p);
+}
+
+LatencyModel::LatencyModel(double server, double proxy_to_proxy, double client_to_proxy,
+                           double p2p_fetch)
+    : server_(server), proxy_(proxy_to_proxy), client_(client_to_proxy), p2p_(p2p_fetch) {
+  if (!(server > 0.0) || proxy_to_proxy < 0.0 || client_to_proxy < 0.0 || p2p_fetch < 0.0) {
+    throw std::invalid_argument("LatencyModel: latencies must be non-negative, server > 0");
+  }
+  if (proxy_to_proxy > server) {
+    throw std::invalid_argument("LatencyModel: Tc must not exceed Ts (cooperation pointless)");
+  }
+}
+
+double LatencyModel::request_latency(ServedFrom where) const {
+  // A browser hit never leaves the client machine.
+  if (where == ServedFrom::kBrowser) return 0.0;
+  return client_ + fetch_cost(where);
+}
+
+double LatencyModel::fetch_cost(ServedFrom where) const {
+  switch (where) {
+    case ServedFrom::kBrowser:
+    case ServedFrom::kLocalProxy:
+      return 0.0;
+    case ServedFrom::kLocalP2P:
+      return p2p_;
+    case ServedFrom::kRemoteProxy:
+      return proxy_;
+    case ServedFrom::kRemoteP2P:
+      return proxy_ + p2p_;
+    case ServedFrom::kOriginServer:
+      return server_;
+  }
+  throw std::logic_error("LatencyModel: unknown ServedFrom");
+}
+
+}  // namespace webcache::net

@@ -1,0 +1,59 @@
+// Network latency model, exactly as the paper parameterizes it (Section 5.1):
+//   Ts    — proxy <-> origin server
+//   Tc    — proxy <-> cooperating proxy
+//   Tl    — client <-> local proxy
+//   Tp2p  — client/proxy <-> P2P client cache (includes the expected Pastry
+//           LAN hops)
+// Defaults: Ts/Tc = 10, Ts/Tl = 20, Tp2p/Tl = 1.4 — i.e. with Tl = 1:
+// Tp2p = 1.4, Tc = 2, Ts = 20.
+//
+// Every request pays Tl to reach its local proxy; the remaining cost depends
+// on where the object is found. The model exposes one accessor per outcome
+// so scheme code never assembles latencies ad hoc.
+#pragma once
+
+#include <stdexcept>
+
+namespace webcache::net {
+
+/// Where a request was ultimately served from.
+enum class ServedFrom {
+  kBrowser,        ///< hit in the client's own private browser cache
+  kLocalProxy,     ///< hit in the local proxy cache
+  kLocalP2P,       ///< hit in the local P2P client cache
+  kRemoteProxy,    ///< hit in a cooperating proxy's cache
+  kRemoteP2P,      ///< hit in a cooperating proxy's P2P client cache (push)
+  kOriginServer,   ///< miss everywhere
+};
+
+class LatencyModel {
+ public:
+  /// Constructs from the paper's ratios. All ratios must be >= 1 so the
+  /// hierarchy Tl <= Tc <= Ts holds.
+  static LatencyModel from_ratios(double ts_over_tc = 10.0, double ts_over_tl = 20.0,
+                                  double tp2p_over_tl = 1.4);
+
+  /// Constructs from absolute latencies.
+  LatencyModel(double server, double proxy_to_proxy, double client_to_proxy,
+               double p2p_fetch);
+
+  [[nodiscard]] double server() const { return server_; }           ///< Ts
+  [[nodiscard]] double proxy_to_proxy() const { return proxy_; }    ///< Tc
+  [[nodiscard]] double client_to_proxy() const { return client_; }  ///< Tl
+  [[nodiscard]] double p2p_fetch() const { return p2p_; }           ///< Tp2p
+
+  /// End-to-end latency the requesting client observes for each outcome.
+  [[nodiscard]] double request_latency(ServedFrom where) const;
+
+  /// The cost the *proxy* paid to obtain the object — the retrieval cost
+  /// greedy-dual credits objects with (Tl excluded: it is paid regardless).
+  [[nodiscard]] double fetch_cost(ServedFrom where) const;
+
+ private:
+  double server_;
+  double proxy_;
+  double client_;
+  double p2p_;
+};
+
+}  // namespace webcache::net

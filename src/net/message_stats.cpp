@@ -1,0 +1,3 @@
+// message_stats.hpp is header-only; this translation unit anchors it into
+// the library so include errors surface at build time.
+#include "net/message_stats.hpp"

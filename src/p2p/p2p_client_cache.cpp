@@ -1,0 +1,271 @@
+#include "p2p/p2p_client_cache.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/sha1.hpp"
+
+namespace webcache::p2p {
+
+std::size_t client_capacity(const P2PConfig& config, ClientNum index) {
+  const std::size_t base = config.per_client_capacity;
+  switch (config.capacity_spread) {
+    case CapacitySpread::kUniform:
+      return base;
+    case CapacitySpread::kBimodal:
+      // Alternating big/small machines: 1.5x and 0.5x keep the same total.
+      return index % 2 == 0 ? base + base / 2 + base % 2 : base / 2;
+    case CapacitySpread::kProportional: {
+      // Linear spread 2*base*(k+1)/(N+1); totals ~= N*base. A participating
+      // client donates at least one slot (a zero-capacity root could never
+      // accept its own keyspace's objects).
+      const double share = 2.0 * static_cast<double>(base) *
+                           static_cast<double>(index + 1) /
+                           static_cast<double>(config.clients + 1);
+      return std::max<std::size_t>(1, static_cast<std::size_t>(share + 0.5));
+    }
+  }
+  return base;
+}
+
+P2PClientCache::P2PClientCache(P2PConfig config,
+                               std::shared_ptr<const std::vector<Uint128>> object_ids)
+    : config_(std::move(config)), object_ids_(std::move(object_ids)), overlay_(config_.overlay) {
+  if (config_.clients == 0) {
+    throw std::invalid_argument("P2PClientCache: need at least one client");
+  }
+  if (!object_ids_) {
+    throw std::invalid_argument("P2PClientCache: object id table required");
+  }
+
+  nodes_.reserve(config_.clients);
+  for (ClientNum c = 0; c < config_.clients; ++c) {
+    ClientNode node;
+    node.id = pastry::node_id_for(config_.name_prefix + "/client" + std::to_string(c));
+    node.cache = std::make_unique<cache::GreedyDualCache>(client_capacity(config_, c));
+    overlay_.add_node(node.id);
+    node_index_.emplace(node.id, nodes_.size());
+    nodes_.push_back(std::move(node));
+  }
+}
+
+const Uint128& P2PClientCache::id_of(ObjectNum object) const {
+  if (object >= object_ids_->size()) {
+    throw std::out_of_range("P2PClientCache: object outside the id table");
+  }
+  return (*object_ids_)[object];
+}
+
+std::size_t P2PClientCache::index_of(const pastry::NodeId& id) const {
+  const auto it = node_index_.find(id);
+  assert(it != node_index_.end() && "P2PClientCache: unknown node id");
+  return it->second;
+}
+
+std::size_t P2PClientCache::total_capacity() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) {
+    if (n.alive) total += n.cache->capacity();
+  }
+  return total;
+}
+
+void P2PClientCache::detach(ObjectNum object, std::size_t idx) {
+  ClientNode& holder = nodes_[idx];
+  holder.cache->erase(object);
+  if (const auto it = holder.diverted_in.find(object); it != holder.diverted_in.end()) {
+    // Tell the root its pointer is dangling.
+    const auto root_it = node_index_.find(it->second);
+    if (root_it != node_index_.end()) {
+      nodes_[root_it->second].diverted_out.erase(object);
+    }
+    holder.diverted_in.erase(it);
+  }
+  location_.erase(object);
+}
+
+void P2PClientCache::on_local_eviction(ObjectNum victim, std::size_t idx) {
+  // "The evicted object from the client cache is simply discarded."
+  ClientNode& holder = nodes_[idx];
+  if (const auto it = holder.diverted_in.find(victim); it != holder.diverted_in.end()) {
+    const auto root_it = node_index_.find(it->second);
+    if (root_it != node_index_.end()) {
+      nodes_[root_it->second].diverted_out.erase(victim);
+    }
+    holder.diverted_in.erase(it);
+  }
+  location_.erase(victim);
+}
+
+StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_client) {
+  StoreOutcome outcome;
+  if (via_client >= nodes_.size() || !nodes_[via_client].alive) {
+    throw std::invalid_argument("P2PClientCache::store: via_client invalid or dead");
+  }
+
+  // A live copy may already exist (e.g. the proxy re-fetched from the origin
+  // after a Bloom false negative never happens, but SC-style double-destage
+  // can); refresh its credit instead of double-storing.
+  if (const auto it = location_.find(object); it != location_.end()) {
+    nodes_[it->second].cache->access(object, cost);
+    outcome.stored = true;
+    outcome.already_present = true;
+    return outcome;
+  }
+
+  // Route the piggybacked object from the carrying client to the root.
+  const auto route = overlay_.route(nodes_[via_client].id, id_of(object));
+  outcome.hops = route.hops;
+  messages_.pastry_forward_messages += route.hops;
+
+  const std::size_t root_idx = index_of(route.destination);
+  ClientNode& root = nodes_[root_idx];
+
+  // (3)-(5): root has free space -> store locally.
+  if (!root.cache->full()) {
+    const auto ins = root.cache->insert(object, cost);
+    if (!ins.inserted) return outcome;  // capacity-0 client caches
+    assert(!ins.evicted.has_value());
+    location_[object] = root_idx;
+    outcome.stored = true;
+    ++messages_.store_receipts;
+    return outcome;
+  }
+
+  // (7)-(10): object diversion — find a leaf-set member with free space.
+  if (config_.enable_diversion) {
+    for (const auto& leaf_id : overlay_.leaf_set(root.id).members()) {
+      const auto leaf_it = node_index_.find(leaf_id);
+      if (leaf_it == node_index_.end()) continue;
+      ClientNode& peer = nodes_[leaf_it->second];
+      if (!peer.alive || !overlay_.contains(peer.id) || peer.cache->full()) continue;
+      const auto ins = peer.cache->insert(object, cost);
+      if (!ins.inserted) continue;
+      assert(!ins.evicted.has_value());
+      peer.diverted_in.emplace(object, root.id);
+      root.diverted_out.emplace(object, peer.id);
+      location_[object] = leaf_it->second;
+      outcome.stored = true;
+      outcome.diverted = true;
+      outcome.hops += 1;  // root -> peer transfer
+      ++messages_.diversions;
+      ++messages_.pastry_forward_messages;
+      ++messages_.store_receipts;
+      return outcome;
+    }
+  }
+
+  // (12)-(14): whole neighborhood full — local greedy-dual replacement.
+  const auto ins = root.cache->insert(object, cost);
+  if (!ins.inserted) return outcome;  // capacity-0 client caches
+  if (ins.evicted) {
+    on_local_eviction(*ins.evicted, root_idx);
+    outcome.displaced = ins.evicted;
+  }
+  location_[object] = root_idx;
+  outcome.stored = true;
+  ++messages_.store_receipts;
+  return outcome;
+}
+
+FetchOutcome P2PClientCache::fetch(ObjectNum object, ClientNum via_client, bool remove_on_hit) {
+  FetchOutcome outcome;
+  if (via_client >= nodes_.size() || !nodes_[via_client].alive) {
+    throw std::invalid_argument("P2PClientCache::fetch: via_client invalid or dead");
+  }
+
+  const auto route = overlay_.route(nodes_[via_client].id, id_of(object));
+  outcome.hops = route.hops;
+  messages_.pastry_forward_messages += route.hops;
+
+  const std::size_t root_idx = index_of(route.destination);
+  ClientNode& root = nodes_[root_idx];
+
+  std::size_t holder_idx = root_idx;
+  if (!root.cache->contains(object)) {
+    const auto div = root.diverted_out.find(object);
+    if (div == root.diverted_out.end()) return outcome;  // miss (false positive)
+    const auto peer_it = node_index_.find(div->second);
+    if (peer_it == node_index_.end()) return outcome;
+    holder_idx = peer_it->second;
+    if (!nodes_[holder_idx].alive || !nodes_[holder_idx].cache->contains(object)) {
+      return outcome;  // dangling pointer after a failure
+    }
+    outcome.via_diversion_pointer = true;
+    outcome.hops += 1;
+    ++messages_.diversion_pointer_lookups;
+    ++messages_.pastry_forward_messages;
+  }
+
+  outcome.hit = true;
+  if (remove_on_hit) {
+    detach(object, holder_idx);
+    outcome.removed = true;
+  } else {
+    nodes_[holder_idx].cache->access(object, /*cost=*/0.0);
+  }
+  return outcome;
+}
+
+std::vector<ObjectNum> P2PClientCache::fail_client(ClientNum client) {
+  if (client >= nodes_.size()) {
+    throw std::invalid_argument("P2PClientCache::fail_client: no such client");
+  }
+  ClientNode& node = nodes_[client];
+  if (!node.alive) return {};
+
+  // Everything physically stored here is gone.
+  std::vector<ObjectNum> lost = node.cache->contents();
+  for (const auto object : lost) {
+    on_local_eviction(object, client);
+    node.cache->erase(object);
+  }
+  // Pointers this node held as root now dangle; the peers' copies survive
+  // but become unreachable through the (dead) root — drop them too, as the
+  // new root cannot know about them. This mirrors what a real deployment
+  // loses on a root crash before re-replication.
+  for (const auto& [object, peer_id] : node.diverted_out) {
+    const auto peer_it = node_index_.find(peer_id);
+    if (peer_it == node_index_.end()) continue;
+    nodes_[peer_it->second].cache->erase(object);
+    nodes_[peer_it->second].diverted_in.erase(object);
+    location_.erase(object);
+    lost.push_back(object);
+  }
+  node.diverted_out.clear();
+
+  node.alive = false;
+  overlay_.fail_node(node.id);
+  return lost;
+}
+
+std::vector<ObjectNum> P2PClientCache::contents_of(ClientNum client) const {
+  if (client >= nodes_.size()) {
+    throw std::invalid_argument("P2PClientCache::contents_of: no such client");
+  }
+  return nodes_[client].cache->contents();
+}
+
+double P2PClientCache::utilization_cv() const {
+  double mean = 0.0;
+  std::size_t alive = 0;
+  for (const auto& n : nodes_) {
+    if (!n.alive) continue;
+    mean += static_cast<double>(n.cache->size());
+    ++alive;
+  }
+  if (alive == 0) return 0.0;
+  mean /= static_cast<double>(alive);
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (const auto& n : nodes_) {
+    if (!n.alive) continue;
+    const double d = static_cast<double>(n.cache->size()) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(alive);
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace webcache::p2p

@@ -1,0 +1,106 @@
+#include "pastry/leaf_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace webcache::pastry {
+
+LeafSet::LeafSet(NodeId owner, unsigned size) : owner_(owner), capacity_(size) {
+  if (size == 0 || size % 2 != 0) {
+    throw std::invalid_argument("LeafSet: size must be a positive even number");
+  }
+  per_side_ = size / 2;
+  clockwise_.reserve(per_side_);
+  counter_.reserve(per_side_);
+}
+
+namespace {
+// Inserts `node` into `side`, kept sorted by `dist` from the owner (nearest
+// first), bounded to `limit` entries. Returns true if the side changed.
+bool insert_side(std::vector<NodeId>& side, const NodeId& owner, const NodeId& node,
+                 unsigned limit, bool clockwise) {
+  const auto dist = [&](const NodeId& n) {
+    return clockwise ? Uint128::clockwise_distance(owner, n)
+                     : Uint128::clockwise_distance(n, owner);
+  };
+  const auto pos = std::lower_bound(side.begin(), side.end(), node,
+                                    [&](const NodeId& a, const NodeId& b) {
+                                      return dist(a) < dist(b);
+                                    });
+  if (pos != side.end() && *pos == node) return false;
+  if (side.size() == limit) {
+    if (pos == side.end()) return false;  // farther than every current member
+    side.pop_back();
+  }
+  side.insert(std::lower_bound(side.begin(), side.end(), node,
+                               [&](const NodeId& a, const NodeId& b) {
+                                 return dist(a) < dist(b);
+                               }),
+              node);
+  return true;
+}
+}  // namespace
+
+bool LeafSet::insert(const NodeId& node) {
+  if (node == owner_) return false;
+  // A node appears on the side where it is nearer; with fewer than l nodes
+  // in the network it can legitimately sit in both half-sets (the ring wraps
+  // around), which Pastry handles identically.
+  bool changed = insert_side(clockwise_, owner_, node, per_side_, /*clockwise=*/true);
+  changed |= insert_side(counter_, owner_, node, per_side_, /*clockwise=*/false);
+  return changed;
+}
+
+bool LeafSet::erase(const NodeId& node) {
+  bool changed = false;
+  if (const auto it = std::find(clockwise_.begin(), clockwise_.end(), node);
+      it != clockwise_.end()) {
+    clockwise_.erase(it);
+    changed = true;
+  }
+  if (const auto it = std::find(counter_.begin(), counter_.end(), node); it != counter_.end()) {
+    counter_.erase(it);
+    changed = true;
+  }
+  return changed;
+}
+
+bool LeafSet::contains(const NodeId& node) const {
+  return std::find(clockwise_.begin(), clockwise_.end(), node) != clockwise_.end() ||
+         std::find(counter_.begin(), counter_.end(), node) != counter_.end();
+}
+
+bool LeafSet::covers(const Uint128& key) const {
+  if (clockwise_.size() < per_side_ || counter_.size() < per_side_) {
+    // Leaf set not full: it holds every known node, so it spans the ring.
+    return true;
+  }
+  const Uint128 cw_extent = Uint128::clockwise_distance(owner_, clockwise_.back());
+  const Uint128 ccw_extent = Uint128::clockwise_distance(counter_.back(), owner_);
+  const Uint128 cw_key = Uint128::clockwise_distance(owner_, key);
+  const Uint128 ccw_key = Uint128::clockwise_distance(key, owner_);
+  return cw_key <= cw_extent || ccw_key <= ccw_extent;
+}
+
+NodeId LeafSet::closest_to(const Uint128& key) const {
+  NodeId best = owner_;
+  for (const auto& n : clockwise_) {
+    if (closer_to(key, n, best)) best = n;
+  }
+  for (const auto& n : counter_) {
+    if (closer_to(key, n, best)) best = n;
+  }
+  return best;
+}
+
+std::vector<NodeId> LeafSet::members() const {
+  std::vector<NodeId> out;
+  out.reserve(clockwise_.size() + counter_.size());
+  out.insert(out.end(), clockwise_.begin(), clockwise_.end());
+  for (const auto& n : counter_) {
+    if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace webcache::pastry

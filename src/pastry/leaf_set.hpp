@@ -1,0 +1,59 @@
+// Pastry leaf set: the l nodes with ids numerically closest to the owner,
+// half clockwise (larger ids, wrapping) and half counter-clockwise. The leaf
+// set terminates routing (any key falling between the extremes is delivered
+// in one hop to the closest leaf) and — central to this paper — defines the
+// neighborhood used for *object diversion*: a full client cache offloads a
+// destaged object onto a leaf-set member with free space (Section 4.3,
+// following PAST).
+#pragma once
+
+#include <vector>
+
+#include "pastry/node_id.hpp"
+
+namespace webcache::pastry {
+
+class LeafSet {
+ public:
+  /// `size` is Pastry's l (typical value 16); half the entries sit on each
+  /// side of the owner.
+  LeafSet(NodeId owner, unsigned size);
+
+  [[nodiscard]] const NodeId& owner() const { return owner_; }
+  [[nodiscard]] unsigned capacity() const { return capacity_; }
+
+  /// Inserts a candidate; keeps only the l closest per side. Returns true
+  /// if the set changed.
+  bool insert(const NodeId& node);
+
+  /// Removes a departed/failed node. Returns true if it was present.
+  bool erase(const NodeId& node);
+
+  [[nodiscard]] bool contains(const NodeId& node) const;
+
+  /// True when `key` lies within [smallest leaf, largest leaf] arc covered
+  /// by this leaf set (the Pastry delivery condition). Always true when the
+  /// set is not yet full (small networks: the leaf set spans the ring).
+  [[nodiscard]] bool covers(const Uint128& key) const;
+
+  /// The member (possibly the owner) numerically closest to `key`.
+  [[nodiscard]] NodeId closest_to(const Uint128& key) const;
+
+  /// All members, owner excluded. Clockwise side first.
+  [[nodiscard]] std::vector<NodeId> members() const;
+
+  [[nodiscard]] std::size_t size() const { return clockwise_.size() + counter_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& clockwise() const { return clockwise_; }
+  [[nodiscard]] const std::vector<NodeId>& counter_clockwise() const { return counter_; }
+
+ private:
+  NodeId owner_;
+  unsigned capacity_;        // total l
+  unsigned per_side_;        // l / 2
+  // Sorted by clockwise (resp. counter-clockwise) distance from the owner,
+  // nearest first.
+  std::vector<NodeId> clockwise_;
+  std::vector<NodeId> counter_;
+};
+
+}  // namespace webcache::pastry

@@ -1,0 +1,3 @@
+// node_id.hpp is header-only; this translation unit exists to give the
+// header a home in the library and catch ODR/include errors at build time.
+#include "pastry/node_id.hpp"

@@ -1,0 +1,164 @@
+// Simulated Pastry overlay (Rowstron & Druschel, Middleware 2001).
+//
+// The paper organizes the cooperative halves of all client browser caches in
+// a cluster into one P2P client cache on a Pastry ring: destaged objects are
+// routed by objectId = SHA-1(URL) to the live node whose cacheId is
+// numerically closest (the "root"), in ceil(log_{2^b} N) expected hops.
+//
+// This class simulates the overlay at the protocol-state level: every node
+// keeps its own routing table and leaf set, and route() makes forwarding
+// decisions *using only that per-node state*, so measured hop counts are the
+// real Pastry hop counts. What is abstracted away is the message exchange of
+// the join/repair protocols themselves: joins and repairs install the state
+// those protocols converge to, taking the global membership view as ground
+// truth. Failures leave stale references behind exactly as real crashes do;
+// they are discovered on use (modelling timeouts) and repaired per-entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pastry/leaf_set.hpp"
+#include "pastry/node_id.hpp"
+#include "pastry/routing_table.hpp"
+
+namespace webcache::pastry {
+
+struct OverlayConfig {
+  /// Pastry's b: bits per id digit. b = 4 (hex digits) is the value the
+  /// paper quotes (log_16 N hops for N = 1024 clients).
+  unsigned bits_per_digit = 4;
+  /// Pastry's l: leaf-set size (typical value 16 per the paper, Section 4.3).
+  unsigned leaf_set_size = 16;
+  /// When a dead next-hop is detected during routing, immediately install a
+  /// replacement (models Pastry's routing-table repair).
+  bool repair_on_detect = true;
+  /// Proximity-aware routing-table population: among the id-eligible
+  /// candidates for a slot, prefer the one closest to the owner under the
+  /// network proximity metric (Pastry's locality property — the reason
+  /// overlay hops stay cheap LAN hops, which the paper's Tp2p argument
+  /// leans on). When off, the numerically first candidate is used.
+  bool proximity_routing = false;
+};
+
+/// Position of a node in the proximity space: an abstract 2-D unit square
+/// whose Euclidean distances stand in for pairwise network latencies.
+/// Coordinates are derived deterministically from the node id unless
+/// supplied explicitly at join time.
+struct Coordinates {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Network proximity between two points (Euclidean distance).
+[[nodiscard]] double proximity(const Coordinates& a, const Coordinates& b);
+
+/// Default coordinates for a node id (uniform hash into the unit square).
+[[nodiscard]] Coordinates default_coordinates(const NodeId& id);
+
+/// Outcome of routing one message.
+struct RouteResult {
+  NodeId destination;      ///< node the message was delivered to
+  unsigned hops = 0;       ///< overlay hops traversed (0 = delivered locally)
+  bool success = false;    ///< destination is the true root of the key
+  /// Sum of proximity distances along the route (the "network distance"
+  /// the message actually travelled; compare against the direct
+  /// source-to-destination proximity for the relative delay penalty).
+  double distance = 0.0;
+};
+
+/// Cumulative overlay health/activity counters.
+struct OverlayStats {
+  std::uint64_t messages_routed = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t dead_hop_detections = 0;  ///< stale entries hit during routing
+  std::uint64_t fallback_hops = 0;        ///< rare-case routing (neither leaf nor table)
+  std::uint64_t repairs = 0;              ///< entries re-populated after failures
+};
+
+class Overlay {
+ public:
+  explicit Overlay(OverlayConfig config = {});
+
+  const OverlayConfig& config() const { return config_; }
+
+  /// Joins a node. Builds the newcomer's state and updates existing nodes'
+  /// leaf sets / routing tables to the post-join steady state.
+  /// Throws std::invalid_argument on duplicate ids.
+  void add_node(const NodeId& id);
+
+  /// Joins a node at an explicit position in the proximity space.
+  void add_node(const NodeId& id, const Coordinates& where);
+
+  /// The node's position in the proximity space.
+  [[nodiscard]] const Coordinates& coordinates_of(const NodeId& id) const;
+
+  /// Graceful departure: state of the remaining nodes is updated eagerly.
+  void remove_node(const NodeId& id);
+
+  /// Crash failure: the node stops responding but remains in other nodes'
+  /// tables until detected. Repairs happen on detection (if configured) or
+  /// via repair_all().
+  void fail_node(const NodeId& id);
+
+  /// Periodic repair pass over every live node: prunes dead references and
+  /// refills what can be refilled. Models Pastry's background maintenance.
+  void repair_all();
+
+  [[nodiscard]] bool contains(const NodeId& id) const;   ///< alive?
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+
+  /// Ground-truth root: the live node numerically closest to `key`.
+  /// Requires a non-empty overlay.
+  [[nodiscard]] NodeId root_of(const Uint128& key) const;
+
+  /// Routes a message from `from` toward `key` using per-node state only.
+  /// `from` must be alive.
+  RouteResult route(const NodeId& from, const Uint128& key);
+
+  /// Per-node state access (tests, diversion logic).
+  [[nodiscard]] const LeafSet& leaf_set(const NodeId& id) const;
+  [[nodiscard]] const RoutingTable& routing_table(const NodeId& id) const;
+
+  [[nodiscard]] const OverlayStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// All live node ids in ring order (ascending id).
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
+  /// Expected upper bound on hops for the current size: ceil(log_{2^b} N).
+  [[nodiscard]] unsigned expected_hop_bound() const;
+
+ private:
+  struct NodeState {
+    NodeState(const NodeId& id, const OverlayConfig& cfg, const Coordinates& where)
+        : table(id, cfg.bits_per_digit), leaves(id, cfg.leaf_set_size), coords(where) {}
+    RoutingTable table;
+    LeafSet leaves;
+    Coordinates coords;
+  };
+
+  NodeState& state_of(const NodeId& id);
+  [[nodiscard]] const NodeState& state_of(const NodeId& id) const;
+
+  /// Smallest live node id within [lo, hi], if any.
+  [[nodiscard]] std::optional<NodeId> first_alive_in(const Uint128& lo, const Uint128& hi) const;
+
+  /// Refills one routing-table slot of `node` from the live membership.
+  bool refill_slot(NodeState& node, unsigned row, unsigned column);
+
+  /// Rebuilds a node's leaf set from the live ring (protocol steady state).
+  void rebuild_leaf_set(NodeState& node);
+
+  /// Handles a discovered-dead reference held by `holder` toward `dead`.
+  void on_dead_reference(NodeState& holder, const NodeId& dead);
+
+  OverlayConfig config_;
+  std::map<NodeId, NodeState> ring_;  // live nodes, sorted by id
+  OverlayStats stats_;
+};
+
+}  // namespace webcache::pastry

@@ -1,0 +1,38 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace webcache::sim {
+
+std::string Metrics::summary() const {
+  std::ostringstream out;
+  const auto pct = [this](std::uint64_t n) {
+    return requests == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(requests);
+  };
+  out << "requests:            " << requests << "\n"
+      << "mean latency:        " << mean_latency() << "\n";
+  if (hits_browser > 0) {
+    out << "browser hits:        " << hits_browser << " (" << pct(hits_browser) << "%)\n";
+  }
+  out << "local proxy hits:    " << hits_local_proxy << " (" << pct(hits_local_proxy) << "%)\n"
+      << "local P2P hits:      " << hits_local_p2p << " (" << pct(hits_local_p2p) << "%)\n"
+      << "remote proxy hits:   " << hits_remote_proxy << " (" << pct(hits_remote_proxy) << "%)\n"
+      << "remote P2P hits:     " << hits_remote_p2p << " (" << pct(hits_remote_p2p) << "%)\n"
+      << "server fetches:      " << server_fetches << " (" << pct(server_fetches) << "%)\n"
+      << "overall hit ratio:   " << 100.0 * hit_ratio() << "%\n";
+  if (p2p_hops.count() > 0) {
+    out << "mean Pastry hops:    " << p2p_hops.mean() << " (max " << p2p_hops.max() << ")\n";
+  }
+  return out.str();
+}
+
+double latency_gain(const Metrics& baseline_nc, const Metrics& scheme) {
+  const double base = baseline_nc.mean_latency();
+  if (base <= 0.0) {
+    throw std::invalid_argument("latency_gain: baseline has no latency data");
+  }
+  return 1.0 - scheme.mean_latency() / base;
+}
+
+}  // namespace webcache::sim

@@ -1,0 +1,27 @@
+#include "sim/scheme.hpp"
+
+namespace webcache::sim {
+
+std::string_view to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNC: return "NC";
+    case Scheme::kSC: return "SC";
+    case Scheme::kFC: return "FC";
+    case Scheme::kNC_EC: return "NC-EC";
+    case Scheme::kSC_EC: return "SC-EC";
+    case Scheme::kFC_EC: return "FC-EC";
+    case Scheme::kHierGD: return "Hier-GD";
+    case Scheme::kSquirrel: return "Squirrel";
+  }
+  return "?";
+}
+
+std::optional<Scheme> scheme_from_string(std::string_view name) {
+  for (const auto s : kAllSchemes) {
+    if (to_string(s) == name) return s;
+  }
+  if (to_string(Scheme::kSquirrel) == name) return Scheme::kSquirrel;
+  return std::nullopt;
+}
+
+}  // namespace webcache::sim

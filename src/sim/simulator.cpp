@@ -1,0 +1,525 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/trace_stats.hpp"
+
+namespace webcache::sim {
+
+using net::ServedFrom;
+
+Simulator::Simulator(SimConfig config, const workload::Trace& trace)
+    : config_(config), trace_(trace) {
+  if (config_.num_proxies == 0) {
+    throw std::invalid_argument("Simulator: need at least one proxy");
+  }
+  if (proxies_cooperate(config_.scheme) && config_.num_proxies < 2) {
+    throw std::invalid_argument("Simulator: cooperative schemes need >= 2 proxies");
+  }
+
+  const std::size_t p2p_capacity =
+      static_cast<std::size_t>(config_.clients_per_cluster) * config_.client_cache_capacity;
+
+  // Perfect frequency knowledge for the cost-benefit schemes.
+  if (config_.scheme == Scheme::kFC || config_.scheme == Scheme::kFC_EC) {
+    const auto stats = workload::analyze(trace_);
+    coordinator_ = std::make_unique<cache::CostBenefitCoordinator>(
+        workload::per_proxy_frequency(stats, config_.num_proxies), config_.num_proxies,
+        config_.latencies.server(), config_.latencies.proxy_to_proxy());
+  }
+
+  if (config_.scheme == Scheme::kHierGD || config_.scheme == Scheme::kSquirrel) {
+    object_ids_ = directory::build_object_id_table(trace_.distinct_objects);
+  }
+
+  if (!config_.client_failures.empty() && config_.scheme != Scheme::kHierGD &&
+      config_.scheme != Scheme::kSquirrel) {
+    throw std::invalid_argument(
+        "Simulator: client failures need individually addressable client caches "
+        "(Hier-GD or Squirrel)");
+  }
+  pending_failures_ = config_.client_failures;
+  std::stable_sort(pending_failures_.begin(), pending_failures_.end(),
+                   [](const ClientFailure& a, const ClientFailure& b) {
+                     return a.time < b.time;
+                   });
+
+  proxies_.resize(config_.num_proxies);
+  for (unsigned p = 0; p < config_.num_proxies; ++p) {
+    Proxy& proxy = proxies_[p];
+    if (config_.browser_cache_capacity > 0) {
+      proxy.browsers.reserve(config_.clients_per_cluster);
+      for (ClientNum c = 0; c < config_.clients_per_cluster; ++c) {
+        proxy.browsers.push_back(
+            std::make_unique<cache::LruCache>(config_.browser_cache_capacity));
+      }
+    }
+    switch (config_.scheme) {
+      case Scheme::kNC:
+      case Scheme::kSC:
+        proxy.cache =
+            std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode);
+        break;
+      case Scheme::kFC:
+        proxy.cache =
+            std::make_unique<cache::CostBenefitCache>(config_.proxy_capacity, *coordinator_);
+        break;
+      case Scheme::kNC_EC:
+      case Scheme::kSC_EC:
+        proxy.tiered = std::make_unique<TieredCache>(
+            std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode),
+            std::make_unique<cache::LfuCache>(p2p_capacity, config_.lfu_mode));
+        break;
+      case Scheme::kFC_EC:
+        proxy.unified = std::make_unique<cache::CostBenefitCache>(
+            config_.proxy_capacity + p2p_capacity, *coordinator_);
+        proxy.tier_tracker = std::make_unique<cache::LruCache>(config_.proxy_capacity);
+        break;
+      case Scheme::kHierGD: {
+        switch (config_.hier_proxy_policy) {
+          case HierProxyPolicy::kGreedyDual:
+            proxy.gd = std::make_unique<cache::GreedyDualCache>(config_.proxy_capacity);
+            break;
+          case HierProxyPolicy::kLru:
+            proxy.gd = std::make_unique<cache::LruCache>(config_.proxy_capacity);
+            break;
+          case HierProxyPolicy::kLfu:
+            proxy.gd = std::make_unique<cache::LfuCache>(config_.proxy_capacity,
+                                                         config_.lfu_mode);
+            break;
+        }
+        p2p::P2PConfig pc;
+        pc.clients = config_.clients_per_cluster;
+        pc.per_client_capacity = config_.client_cache_capacity;
+        pc.capacity_spread = config_.capacity_spread;
+        pc.overlay = config_.overlay;
+        pc.enable_diversion = config_.enable_diversion;
+        pc.name_prefix = "cluster" + std::to_string(p);
+        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_);
+        if (config_.directory == DirectoryKind::kExact) {
+          proxy.dir = std::make_unique<directory::ExactDirectory>();
+        } else {
+          proxy.dir = std::make_unique<directory::BloomDirectory>(
+              object_ids_, p2p_capacity, config_.bloom_target_fpr);
+        }
+        break;
+      }
+      case Scheme::kSquirrel: {
+        // Proxy-less: only the federated browser caches exist. No lookup
+        // directory — requests route straight to the object's home node.
+        p2p::P2PConfig pc;
+        pc.clients = config_.clients_per_cluster;
+        pc.per_client_capacity = config_.client_cache_capacity;
+        pc.capacity_spread = config_.capacity_spread;
+        pc.overlay = config_.overlay;
+        pc.enable_diversion = config_.enable_diversion;
+        pc.name_prefix = "org" + std::to_string(p);
+        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_);
+        break;
+      }
+    }
+  }
+}
+
+Simulator::~Simulator() = default;
+
+const p2p::P2PClientCache* Simulator::p2p_of(unsigned proxy) const {
+  return proxy < proxies_.size() ? proxies_[proxy].p2p.get() : nullptr;
+}
+
+const directory::LookupDirectory* Simulator::directory_of(unsigned proxy) const {
+  return proxy < proxies_.size() ? proxies_[proxy].dir.get() : nullptr;
+}
+
+ClientNum Simulator::client_of(const Request& request, const Proxy& proxy) const {
+  ClientNum c = request.client % config_.clients_per_cluster;
+  if (proxy.p2p && !proxy.p2p->client_alive(c)) {
+    // After fault injection a client may be gone; its user retries through a
+    // neighbour's machine.
+    for (ClientNum step = 1; step < config_.clients_per_cluster; ++step) {
+      const ClientNum candidate = (c + step) % config_.clients_per_cluster;
+      if (proxy.p2p->client_alive(candidate)) return candidate;
+    }
+    throw std::runtime_error("Simulator: all clients of a cluster have failed");
+  }
+  return c;
+}
+
+void Simulator::account(ServedFrom where, double wasted_latency, double hop_latency) {
+  ++metrics_.requests;
+  switch (where) {
+    case ServedFrom::kBrowser: ++metrics_.hits_browser; break;
+    case ServedFrom::kLocalProxy: ++metrics_.hits_local_proxy; break;
+    case ServedFrom::kLocalP2P: ++metrics_.hits_local_p2p; break;
+    case ServedFrom::kRemoteProxy: ++metrics_.hits_remote_proxy; break;
+    case ServedFrom::kRemoteP2P: ++metrics_.hits_remote_p2p; break;
+    case ServedFrom::kOriginServer: ++metrics_.server_fetches; break;
+  }
+  metrics_.total_latency +=
+      config_.latencies.request_latency(where) + wasted_latency + hop_latency;
+  metrics_.wasted_p2p_latency += wasted_latency;
+  metrics_.p2p_hop_latency_total += hop_latency;
+}
+
+bool Simulator::browser_lookup(const Request& request, unsigned proxy_index) {
+  Proxy& proxy = proxies_[proxy_index];
+  if (proxy.browsers.empty()) return false;
+  auto& browser = *proxy.browsers[request.client % config_.clients_per_cluster];
+  if (!browser.contains(request.object)) return false;
+  browser.access(request.object, 0.0);
+  account(ServedFrom::kBrowser, 0.0);
+  return true;
+}
+
+void Simulator::browser_fill(const Request& request, unsigned proxy_index) {
+  Proxy& proxy = proxies_[proxy_index];
+  if (proxy.browsers.empty()) return;
+  auto& browser = *proxy.browsers[request.client % config_.clients_per_cluster];
+  if (!browser.contains(request.object)) {
+    browser.insert(request.object, 0.0);  // private cache; evictions vanish
+  }
+}
+
+void Simulator::apply_failures(std::uint64_t now) {
+  while (next_failure_ < pending_failures_.size() &&
+         pending_failures_[next_failure_].time <= now) {
+    const auto& f = pending_failures_[next_failure_++];
+    if (f.proxy >= proxies_.size()) {
+      throw std::invalid_argument("Simulator: failure event references unknown proxy");
+    }
+    Proxy& proxy = proxies_[f.proxy];
+    // The crash silently loses the client's share of the P2P cache; the
+    // proxy's directory is NOT told (that is the point of the experiment) —
+    // it discovers the losses through failed lookups.
+    (void)proxy.p2p->fail_client(f.client % config_.clients_per_cluster);
+  }
+}
+
+Metrics Simulator::run() {
+  if (ran_) throw std::logic_error("Simulator::run: already ran (one-shot)");
+  ran_ = true;
+
+  for (std::size_t t = 0; t < trace_.requests.size(); ++t) {
+    if (next_failure_ < pending_failures_.size()) apply_failures(t);
+    const auto& request = trace_.requests[t];
+    const auto proxy_index = static_cast<unsigned>(t % config_.num_proxies);
+    if (browser_lookup(request, proxy_index)) continue;
+    step(request, proxy_index);
+    browser_fill(request, proxy_index);
+  }
+
+  // Fold protocol message counters from the P2P substrates.
+  for (const auto& proxy : proxies_) {
+    if (proxy.p2p) metrics_.messages.merge(proxy.p2p->messages());
+  }
+  return metrics_;
+}
+
+void Simulator::step(const Request& request, unsigned proxy_index) {
+  switch (config_.scheme) {
+    case Scheme::kNC:
+    case Scheme::kSC:
+    case Scheme::kFC:
+      step_basic(request, proxy_index);
+      break;
+    case Scheme::kNC_EC:
+    case Scheme::kSC_EC:
+      step_tiered_ec(request, proxy_index);
+      break;
+    case Scheme::kFC_EC:
+      step_fc_ec(request, proxy_index);
+      break;
+    case Scheme::kHierGD:
+      step_hier_gd(request, proxy_index);
+      break;
+    case Scheme::kSquirrel:
+      step_squirrel(request, proxy_index);
+      break;
+  }
+}
+
+// --- NC / SC / FC ------------------------------------------------------------
+
+void Simulator::step_basic(const Request& request, unsigned proxy_index) {
+  Proxy& local = proxies_[proxy_index];
+  const ObjectNum object = request.object;
+
+  // Clairvoyant bookkeeping: this request is no longer in the future.
+  if (coordinator_) coordinator_->consume(object);
+
+  if (local.cache->contains(object)) {
+    local.cache->access(object, config_.latencies.fetch_cost(ServedFrom::kOriginServer));
+    account(ServedFrom::kLocalProxy, 0.0);
+    return;
+  }
+
+  ServedFrom served = ServedFrom::kOriginServer;
+  if (proxies_cooperate(config_.scheme)) {
+    for (unsigned q = 1; q < config_.num_proxies; ++q) {
+      Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+      if (remote.cache->contains(object)) {
+        remote.cache->access(object, config_.latencies.fetch_cost(ServedFrom::kOriginServer));
+        served = ServedFrom::kRemoteProxy;
+        break;
+      }
+    }
+  }
+
+  // SC always copies what it fetched; FC's cost-benefit policy may decline.
+  local.cache->insert(object, config_.latencies.fetch_cost(served));
+  account(served, 0.0);
+}
+
+// --- NC-EC / SC-EC ------------------------------------------------------------
+
+void Simulator::step_tiered_ec(const Request& request, unsigned proxy_index) {
+  Proxy& local = proxies_[proxy_index];
+  const ObjectNum object = request.object;
+  const double refetch = config_.latencies.fetch_cost(ServedFrom::kOriginServer);
+
+  const auto where = local.tiered->locate(object);
+  if (where != TieredCache::Where::kMiss) {
+    local.tiered->access(object, refetch);
+    account(where == TieredCache::Where::kTier1 ? ServedFrom::kLocalProxy
+                                                : ServedFrom::kLocalP2P,
+            0.0);
+    return;
+  }
+
+  ServedFrom served = ServedFrom::kOriginServer;
+  if (config_.scheme == Scheme::kSC_EC) {
+    // Prefer a remote proxy hit (Tc) over a remote P2P hit (Tc + Tp2p).
+    Proxy* tier2_holder = nullptr;
+    for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer; ++q) {
+      Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+      switch (remote.tiered->locate(object)) {
+        case TieredCache::Where::kTier1:
+          remote.tiered->refresh(object, refetch);
+          served = ServedFrom::kRemoteProxy;
+          break;
+        case TieredCache::Where::kTier2:
+          if (tier2_holder == nullptr) tier2_holder = &remote;
+          break;
+        case TieredCache::Where::kMiss:
+          break;
+      }
+    }
+    if (served == ServedFrom::kOriginServer && tier2_holder != nullptr) {
+      // Push protocol: the remote cluster's client cache pushes the object
+      // up through its own proxy.
+      tier2_holder->tiered->refresh(object, refetch);
+      served = ServedFrom::kRemoteP2P;
+      ++metrics_.messages.push_requests;
+      ++metrics_.messages.push_transfers;
+    }
+  }
+
+  local.tiered->admit(object, config_.latencies.fetch_cost(served));
+  account(served, 0.0);
+}
+
+// --- FC-EC ---------------------------------------------------------------------
+
+void Simulator::track_tier1(Proxy& proxy, ObjectNum object) {
+  if (proxy.tier_tracker->contains(object)) {
+    proxy.tier_tracker->access(object, 0.0);
+  } else {
+    proxy.tier_tracker->insert(object, 0.0);
+  }
+}
+
+void Simulator::step_fc_ec(const Request& request, unsigned proxy_index) {
+  Proxy& local = proxies_[proxy_index];
+  const ObjectNum object = request.object;
+
+  // Clairvoyant bookkeeping: this request is no longer in the future.
+  coordinator_->consume(object);
+
+  if (local.unified->contains(object)) {
+    const bool tier1 = local.tier_tracker->contains(object);
+    local.unified->access(object, 0.0);
+    track_tier1(local, object);  // tier-2 hits promote into proxy residence
+    account(tier1 ? ServedFrom::kLocalProxy : ServedFrom::kLocalP2P, 0.0);
+    return;
+  }
+
+  ServedFrom served = ServedFrom::kOriginServer;
+  Proxy* tier2_holder = nullptr;
+  for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer; ++q) {
+    Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+    if (!remote.unified->contains(object)) continue;
+    if (remote.tier_tracker->contains(object)) {
+      remote.unified->access(object, 0.0);
+      served = ServedFrom::kRemoteProxy;
+    } else if (tier2_holder == nullptr) {
+      tier2_holder = &remote;
+    }
+  }
+  if (served == ServedFrom::kOriginServer && tier2_holder != nullptr) {
+    tier2_holder->unified->access(object, 0.0);
+    served = ServedFrom::kRemoteP2P;
+    ++metrics_.messages.push_requests;
+    ++metrics_.messages.push_transfers;
+  }
+
+  const auto ins = local.unified->insert(object, config_.latencies.fetch_cost(served));
+  if (ins.inserted) {
+    track_tier1(local, object);
+    if (ins.evicted) local.tier_tracker->erase(*ins.evicted);
+  }
+  account(served, 0.0);
+}
+
+// --- Hier-GD ---------------------------------------------------------------------
+
+void Simulator::destage_hier_gd(Proxy& proxy, ObjectNum victim, ClientNum via_client) {
+  // Piggybacked on the HTTP response already going to via_client (Sec. 4.4).
+  ++metrics_.messages.destage_piggybacked;
+  metrics_.messages.destage_bytes += 1;  // unit-size objects
+
+  const auto cost_it = proxy.fetch_cost.find(victim);
+  const double credit = cost_it != proxy.fetch_cost.end()
+                            ? cost_it->second
+                            : config_.latencies.fetch_cost(ServedFrom::kOriginServer);
+  const auto outcome = proxy.p2p->store(victim, credit, via_client);
+  metrics_.p2p_hops.add(static_cast<double>(outcome.hops));
+
+  if (outcome.stored && !outcome.already_present) {
+    proxy.dir->add(victim);
+    ++metrics_.messages.directory_adds;
+  }
+  if (outcome.displaced) {
+    proxy.dir->remove(*outcome.displaced);
+    ++metrics_.messages.directory_removes;
+  }
+}
+
+void Simulator::admit_hier_gd(Proxy& proxy, ObjectNum object, double cost,
+                              ClientNum via_client) {
+  proxy.fetch_cost[object] = cost;
+  const auto ins = proxy.gd->insert(object, cost);
+  if (ins.inserted && ins.evicted) {
+    destage_hier_gd(proxy, *ins.evicted, via_client);
+  }
+}
+
+void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
+  Proxy& local = proxies_[proxy_index];
+  const ObjectNum object = request.object;
+  const ClientNum client = client_of(request, local);
+
+  // Local proxy cache.
+  if (local.gd->contains(object)) {
+    const auto cost_it = local.fetch_cost.find(object);
+    local.gd->access(object, cost_it != local.fetch_cost.end()
+                                 ? cost_it->second
+                                 : config_.latencies.fetch_cost(ServedFrom::kOriginServer));
+    account(ServedFrom::kLocalProxy, 0.0);
+    return;
+  }
+
+  double waste = 0.0;
+  double hop_latency = 0.0;
+
+  // Local P2P client cache, gated by the lookup directory.
+  if (local.dir->may_contain(object)) {
+    const auto fetched = local.p2p->fetch(object, client, /*remove_on_hit=*/true);
+    metrics_.p2p_hops.add(static_cast<double>(fetched.hops));
+    hop_latency += config_.p2p_hop_latency * fetched.hops;
+    if (fetched.hit) {
+      ++metrics_.messages.directory_true_positives;
+      local.dir->remove(object);
+      ++metrics_.messages.directory_removes;
+      // Promote into the proxy; the proxy's eviction destages back down.
+      admit_hier_gd(local, object, config_.latencies.fetch_cost(ServedFrom::kLocalP2P),
+                    client);
+      account(ServedFrom::kLocalP2P, 0.0, hop_latency);
+      return;
+    }
+    // False positive (Bloom directory, or staleness after client failures):
+    // the overlay round trip was wasted.
+    ++metrics_.messages.directory_false_positives;
+    waste += config_.latencies.p2p_fetch();
+    // An exact directory learns the truth from the failed lookup. A
+    // counting-Bloom directory must NOT erase a key it never inserted —
+    // that would corrupt shared counters into false negatives.
+    if (config_.directory == DirectoryKind::kExact) local.dir->remove(object);
+  }
+
+  // Cooperating proxies: their caches first (cheaper), then their P2P
+  // client caches via the push protocol (Sec. 4.5).
+  ServedFrom served = ServedFrom::kOriginServer;
+  Proxy* push_holder = nullptr;
+  ClientNum push_client = 0;
+  for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer; ++q) {
+    Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+    if (remote.gd->contains(object)) {
+      const auto cost_it = remote.fetch_cost.find(object);
+      remote.gd->access(object, cost_it != remote.fetch_cost.end()
+                                    ? cost_it->second
+                                    : config_.latencies.fetch_cost(ServedFrom::kOriginServer));
+      served = ServedFrom::kRemoteProxy;
+    } else if (push_holder == nullptr && remote.dir->may_contain(object)) {
+      push_holder = &remote;
+      push_client = client_of(request, remote);
+    }
+  }
+
+  if (served == ServedFrom::kOriginServer && push_holder != nullptr) {
+    ++metrics_.messages.push_requests;
+    const auto fetched = push_holder->p2p->fetch(object, push_client, /*remove_on_hit=*/false);
+    metrics_.p2p_hops.add(static_cast<double>(fetched.hops));
+    hop_latency += config_.p2p_hop_latency * fetched.hops;
+    if (fetched.hit) {
+      ++metrics_.messages.push_transfers;
+      ++metrics_.messages.directory_true_positives;
+      served = ServedFrom::kRemoteP2P;
+    } else {
+      ++metrics_.messages.directory_false_positives;
+      waste += config_.latencies.proxy_to_proxy() + config_.latencies.p2p_fetch();
+      if (config_.directory == DirectoryKind::kExact) push_holder->dir->remove(object);
+    }
+  }
+
+  admit_hier_gd(local, object, config_.latencies.fetch_cost(served), client);
+  account(served, waste, hop_latency);
+}
+
+// --- Squirrel (extension) -------------------------------------------------------
+
+void Simulator::step_squirrel(const Request& request, unsigned proxy_index) {
+  Proxy& org = proxies_[proxy_index];
+  const ObjectNum object = request.object;
+  const ClientNum client = client_of(request, org);
+
+  // The requesting client routes straight to the object's home node. A home
+  // hit serves at LAN cost; on a miss the home node fetches from the origin
+  // server, caches the object (home-store model) and forwards it.
+  const auto fetched = org.p2p->fetch(object, client, /*remove_on_hit=*/false);
+  metrics_.p2p_hops.add(static_cast<double>(fetched.hops));
+  const double hop_latency = config_.p2p_hop_latency * fetched.hops;
+
+  ++metrics_.requests;
+  metrics_.p2p_hop_latency_total += hop_latency;
+  if (fetched.hit) {
+    ++metrics_.hits_local_p2p;
+    metrics_.total_latency += config_.latencies.p2p_fetch() + hop_latency;
+    return;
+  }
+  ++metrics_.server_fetches;
+  metrics_.total_latency +=
+      config_.latencies.p2p_fetch() + config_.latencies.server() + hop_latency;
+  // The home node stores the object with its refetch cost as the credit.
+  // (store() routes again from the client; the message count conservatively
+  // includes both legs.)
+  (void)org.p2p->store(object, config_.latencies.fetch_cost(net::ServedFrom::kOriginServer),
+                       client);
+}
+
+Metrics run_simulation(const SimConfig& config, const workload::Trace& trace) {
+  Simulator sim(config, trace);
+  return sim.run();
+}
+
+}  // namespace webcache::sim

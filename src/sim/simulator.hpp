@@ -1,0 +1,178 @@
+// Trace-driven simulator for the seven caching schemes.
+//
+// Requests are partitioned round-robin over the proxy cluster (request t
+// goes to proxy t mod P), which makes the per-proxy streams statistically
+// identical (paper assumption 2) while keeping the object universe shared —
+// the property inter-proxy cooperation feeds on. Within a cluster, the
+// trace's client id picks the issuing client.
+//
+// Scheme wiring (see DESIGN.md section 4 for the normative semantics):
+//   NC / SC       per-proxy LFU cache; SC additionally reads through
+//                 cooperating proxies and copies what it fetches.
+//   FC            SC lookup path + coordinated cost-benefit replacement
+//                 with perfect frequency knowledge (upper bound).
+//   NC-EC / SC-EC the proxy unified with its pooled P2P client cache as a
+//                 TieredCache (tier 1 = proxy, tier 2 = client caches).
+//   FC-EC         one coordinated cost-benefit cache of combined capacity
+//                 per proxy; an LRU tracker of proxy-cache size attributes
+//                 hits to tier 1 (Tl) or tier 2 (Tp2p).
+//   Hier-GD       greedy-dual at the proxy, evictions destaged into a real
+//                 Pastry-federated P2P client cache with object diversion,
+//                 a lookup directory (exact or Bloom), piggybacked destages
+//                 and the push protocol for remote access.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cost_benefit.hpp"
+#include "cache/greedy_dual.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "directory/directory.hpp"
+#include "net/latency_model.hpp"
+#include "p2p/p2p_client_cache.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheme.hpp"
+#include "sim/tiered_cache.hpp"
+#include "workload/trace.hpp"
+
+namespace webcache::sim {
+
+enum class DirectoryKind { kExact, kBloom };
+
+/// A scheduled client-machine crash (fault-injection): at trace time `time`,
+/// client `client` of proxy `proxy` fails. Under Hier-GD its share of the
+/// P2P client cache is lost and the proxy's directory goes stale until the
+/// failed lookups correct it; under the idealized schemes client storage is
+/// pooled, so failures there only shrink capacity when modelled explicitly.
+struct ClientFailure {
+  std::uint64_t time = 0;
+  unsigned proxy = 0;
+  ClientNum client = 0;
+};
+
+/// Replacement policy at Hier-GD's proxy tier. Greedy-dual is the paper's
+/// algorithm; LRU/LFU exist for the policy ablation (the client-cache tier
+/// always runs greedy-dual).
+enum class HierProxyPolicy { kGreedyDual, kLru, kLfu };
+
+struct SimConfig {
+  Scheme scheme = Scheme::kNC;
+  unsigned num_proxies = 2;
+  /// Proxy cache capacity, in objects, per proxy.
+  std::size_t proxy_capacity = 500;
+  /// Client population per proxy (paper default 100).
+  ClientNum clients_per_cluster = 100;
+  /// Cooperative browser-cache capacity per client, in objects (paper:
+  /// 0.1% of the infinite cache size).
+  std::size_t client_cache_capacity = 5;
+  net::LatencyModel latencies = net::LatencyModel::from_ratios();
+  /// LFU variant for NC/SC/NC-EC/SC-EC. LFU-DA is the deployed-web-proxy
+  /// behaviour of the paper's era and the variant that responds to temporal
+  /// locality; kPerfect/kInCache exist for sensitivity analysis.
+  cache::LfuMode lfu_mode = cache::LfuMode::kDynamicAging;
+  /// Hier-GD lookup directory representation (paper Section 4.2).
+  DirectoryKind directory = DirectoryKind::kExact;
+  double bloom_target_fpr = 0.01;
+  /// Hier-GD object diversion (paper Section 4.3); ablation switches it off.
+  bool enable_diversion = true;
+  /// How client-cache capacities vary across machines (paper Section 4.3
+  /// motivates diversion by exactly this heterogeneity).
+  p2p::CapacitySpread capacity_spread = p2p::CapacitySpread::kUniform;
+  /// Optional per-Pastry-hop latency added to P2P fetch/push operations.
+  /// The paper folds the expected hops into the constant Tp2p (its
+  /// assumption 3); setting this > 0 instead charges the measured hops,
+  /// which makes the client-cluster-size experiments latency-honest.
+  double p2p_hop_latency = 0.0;
+  /// Hier-GD proxy-tier policy (ablation; the paper uses greedy-dual).
+  HierProxyPolicy hier_proxy_policy = HierProxyPolicy::kGreedyDual;
+  /// Per-client *private* browser cache (the "local" partition of the
+  /// client cache, paper Section 2). 0 disables it — the trace is then
+  /// interpreted as the post-browser-cache request stream, which is the
+  /// paper's evaluation setup.
+  std::size_t browser_cache_capacity = 0;
+  /// Scheduled client crashes, applied in trace order (Hier-GD only; the
+  /// other schemes have no individually addressable client caches).
+  std::vector<ClientFailure> client_failures{};
+  pastry::OverlayConfig overlay{};
+  std::uint64_t seed = 7;
+};
+
+class Simulator {
+ public:
+  /// The trace must outlive the simulator. FC/FC-EC precompute the perfect
+  /// frequency table from the trace here.
+  Simulator(SimConfig config, const workload::Trace& trace);
+  ~Simulator();
+
+  /// Replays the full trace and returns the metrics. One-shot.
+  Metrics run();
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  /// Introspection for tests/ablations (null unless the scheme uses them).
+  [[nodiscard]] const p2p::P2PClientCache* p2p_of(unsigned proxy) const;
+  [[nodiscard]] const directory::LookupDirectory* directory_of(unsigned proxy) const;
+
+ private:
+  struct Proxy {
+    // NC / SC / FC
+    std::unique_ptr<cache::Cache> cache;
+    // NC-EC / SC-EC
+    std::unique_ptr<TieredCache> tiered;
+    // FC-EC
+    std::unique_ptr<cache::CostBenefitCache> unified;
+    std::unique_ptr<cache::LruCache> tier_tracker;
+    // Hier-GD (greedy-dual by default; see HierProxyPolicy)
+    std::unique_ptr<cache::Cache> gd;
+    std::unique_ptr<p2p::P2PClientCache> p2p;
+    std::unique_ptr<directory::LookupDirectory> dir;
+    /// Last-paid retrieval cost per object (greedy-dual credits).
+    std::unordered_map<ObjectNum, double> fetch_cost;
+    /// Private browser caches, one per client (empty unless enabled).
+    std::vector<std::unique_ptr<cache::LruCache>> browsers;
+  };
+
+  void step(const Request& request, unsigned proxy_index);
+  /// Browser-cache front end: returns true when the request was absorbed.
+  bool browser_lookup(const Request& request, unsigned proxy_index);
+  void browser_fill(const Request& request, unsigned proxy_index);
+  void apply_failures(std::uint64_t now);
+  void step_basic(const Request& request, unsigned proxy_index);
+  void step_tiered_ec(const Request& request, unsigned proxy_index);
+  void step_fc_ec(const Request& request, unsigned proxy_index);
+  void step_hier_gd(const Request& request, unsigned proxy_index);
+  void step_squirrel(const Request& request, unsigned proxy_index);
+
+  /// Records one served request: outcome counters + latency (+ waste and
+  /// per-hop charges).
+  void account(net::ServedFrom where, double wasted_latency, double hop_latency = 0.0);
+
+  /// Hier-GD: destages a proxy eviction into the P2P cache, piggybacked on
+  /// the response to `via_client`, and maintains the lookup directory.
+  void destage_hier_gd(Proxy& proxy, ObjectNum victim, ClientNum via_client);
+
+  /// Hier-GD: admits a fetched object into the proxy's greedy-dual cache.
+  void admit_hier_gd(Proxy& proxy, ObjectNum object, double cost, ClientNum via_client);
+
+  /// Marks an object as recently proxy-resident for FC-EC attribution.
+  void track_tier1(Proxy& proxy, ObjectNum object);
+
+  [[nodiscard]] ClientNum client_of(const Request& request, const Proxy& proxy) const;
+
+  SimConfig config_;
+  const workload::Trace& trace_;
+  std::unique_ptr<cache::CostBenefitCoordinator> coordinator_;
+  std::shared_ptr<const std::vector<Uint128>> object_ids_;
+  std::vector<Proxy> proxies_;
+  std::vector<ClientFailure> pending_failures_;  // sorted by time
+  std::size_t next_failure_ = 0;
+  Metrics metrics_;
+  bool ran_ = false;
+};
+
+/// Convenience: construct, run, return metrics.
+[[nodiscard]] Metrics run_simulation(const SimConfig& config, const workload::Trace& trace);
+
+}  // namespace webcache::sim

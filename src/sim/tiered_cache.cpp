@@ -1,0 +1,88 @@
+#include "sim/tiered_cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace webcache::sim {
+
+TieredCache::TieredCache(std::unique_ptr<cache::Cache> tier1,
+                         std::unique_ptr<cache::Cache> tier2)
+    : tier1_(std::move(tier1)), tier2_(std::move(tier2)) {
+  if (!tier1_ || !tier2_) {
+    throw std::invalid_argument("TieredCache: both tiers required");
+  }
+}
+
+TieredCache::Where TieredCache::locate(ObjectNum object) const {
+  if (tier1_->contains(object)) return Where::kTier1;
+  if (tier2_->contains(object)) return Where::kTier2;
+  return Where::kMiss;
+}
+
+void TieredCache::destage(ObjectNum object) {
+  const auto cost_it = cost_.find(object);
+  const double cost = cost_it == cost_.end() ? 0.0 : cost_it->second;
+  const auto ins = tier2_->insert(object, cost);
+  if (!ins.inserted) {
+    cost_.erase(object);  // zero-capacity tier 2: the object leaves entirely
+    return;
+  }
+  if (ins.evicted) cost_.erase(*ins.evicted);
+}
+
+TieredCache::Where TieredCache::access(ObjectNum object, double cost) {
+  const Where where = locate(object);
+  switch (where) {
+    case Where::kTier1:
+      cost_[object] = cost;
+      tier1_->access(object, cost);
+      break;
+    case Where::kTier2: {
+      // Promote: the proxy now serves and holds the object; its tier-1
+      // evictee drops into the slot freed below.
+      tier2_->erase(object);
+      cost_[object] = cost;
+      const auto ins = tier1_->insert(object, cost);
+      if (!ins.inserted) {
+        // Tier 1 declined (degenerate zero-capacity proxy): put it back.
+        const auto back = tier2_->insert(object, cost);
+        if (back.evicted) cost_.erase(*back.evicted);
+        if (!back.inserted) cost_.erase(object);
+        break;
+      }
+      if (ins.evicted) destage(*ins.evicted);
+      break;
+    }
+    case Where::kMiss:
+      assert(false && "TieredCache::access: object not cached");
+      break;
+  }
+  return where;
+}
+
+TieredCache::Where TieredCache::refresh(ObjectNum object, double cost) {
+  const Where where = locate(object);
+  switch (where) {
+    case Where::kTier1:
+      tier1_->access(object, cost);
+      break;
+    case Where::kTier2:
+      tier2_->access(object, cost);
+      break;
+    case Where::kMiss:
+      assert(false && "TieredCache::refresh: object not cached");
+      break;
+  }
+  return where;
+}
+
+bool TieredCache::admit(ObjectNum object, double cost) {
+  assert(!contains(object) && "TieredCache::admit: object already cached");
+  const auto ins = tier1_->insert(object, cost);
+  if (!ins.inserted) return false;
+  cost_[object] = cost;
+  if (ins.evicted) destage(*ins.evicted);
+  return true;
+}
+
+}  // namespace webcache::sim

@@ -1,0 +1,70 @@
+// Two-tier unified cache: tier 1 models the proxy cache (hits cost Tl),
+// tier 2 the pooled P2P client cache (hits cost Tp2p). The *-EC upper-bound
+// schemes treat a proxy and its P2P client cache as "one unified cache"
+// (paper Section 2) with this structure:
+//   * a miss fill is admitted into tier 1; tier 1's eviction is destaged
+//     into tier 2; tier 2's eviction leaves the unified cache;
+//   * a tier 2 hit promotes the object back into tier 1 (its destaged
+//     evictee takes the promoted object's slot below, so occupancy is
+//     conserved);
+// which is exactly Hier-GD's shape with an idealized single-cache bottom
+// tier — making the ideal-vs-Pastry comparison an apples-to-apples ablation.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/cache.hpp"
+
+namespace webcache::sim {
+
+class TieredCache {
+ public:
+  enum class Where { kTier1, kTier2, kMiss };
+
+  /// Takes ownership of both tiers (either may have zero capacity).
+  TieredCache(std::unique_ptr<cache::Cache> tier1, std::unique_ptr<cache::Cache> tier2);
+
+  /// Pure lookup, no bookkeeping.
+  [[nodiscard]] Where locate(ObjectNum object) const;
+  [[nodiscard]] bool contains(ObjectNum object) const {
+    return locate(object) != Where::kMiss;
+  }
+
+  /// Serves a local request for a cached object: tier-1 hits refresh in
+  /// place, tier-2 hits promote into tier 1 (destaging tier 1's evictee
+  /// down). Returns where the object was found. `cost` is the object's
+  /// refetch cost (greedy-dual credit).
+  Where access(ObjectNum object, double cost);
+
+  /// Serves a *remote* request (another proxy reading through us): the
+  /// object is refreshed where it sits, without promotion — remote traffic
+  /// should not reorganize the local hierarchy.
+  Where refresh(ObjectNum object, double cost);
+
+  /// Admits an object after a miss fill: inserts into tier 1, destages the
+  /// evictee to tier 2. Returns false if the policy declined admission.
+  bool admit(ObjectNum object, double cost);
+
+  [[nodiscard]] cache::Cache& tier1() { return *tier1_; }
+  [[nodiscard]] cache::Cache& tier2() { return *tier2_; }
+  [[nodiscard]] const cache::Cache& tier1() const { return *tier1_; }
+  [[nodiscard]] const cache::Cache& tier2() const { return *tier2_; }
+
+  [[nodiscard]] std::size_t size() const { return tier1_->size() + tier2_->size(); }
+  [[nodiscard]] std::size_t capacity() const {
+    return tier1_->capacity() + tier2_->capacity();
+  }
+
+ private:
+  /// Moves tier 1's eviction victim down into tier 2.
+  void destage(ObjectNum object);
+
+  std::unique_ptr<cache::Cache> tier1_;
+  std::unique_ptr<cache::Cache> tier2_;
+  /// Refetch cost of every object currently cached — needed to credit
+  /// destaged objects correctly in value-based tiers.
+  std::unordered_map<ObjectNum, double> cost_;
+};
+
+}  // namespace webcache::sim

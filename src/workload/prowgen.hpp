@@ -1,0 +1,98 @@
+// ProWGen synthetic Web-proxy workload generator, reimplemented after
+// Busari & Williamson, "On the sensitivity of Web proxy cache performance to
+// workload characteristics" (INFOCOM 2001) — the generator the paper drives
+// all synthetic experiments with.
+//
+// Modelled characteristics and their knobs:
+//   * one-time referencing  — fraction of distinct objects requested exactly
+//     once (default 50%, the paper's default);
+//   * object popularity     — Zipf-like with slope alpha over the remaining
+//     objects (default 0.7; the paper sweeps {0.5, 0.7, 1.0});
+//   * distinct objects      — object universe size (default 10,000);
+//   * temporal locality     — finite LRU-stack model: the next request is
+//     drawn either from the stack of recently referenced objects or from the
+//     pool of not-recently-referenced ones, in proportion to their remaining
+//     reference mass (amplified by `temporal_amplifier`); a larger stack
+//     makes more objects eligible for temporally-clustered re-reference
+//     (default stack = 20% of multi-referenced objects; the paper sweeps
+//     {5%, 20%, 60%});
+//   * file sizes            — lognormal body with a Pareto tail, with an
+//     optional size-popularity correlation (the paper fixes unit sizes for
+//     its experiments; sizes are generated for trace tooling completeness).
+//
+// Reference counts are assigned exactly (the stream consumes precomputed
+// per-object counts), so the delivered popularity distribution matches the
+// configured one by construction, not just in expectation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace webcache::workload {
+
+/// Size-popularity correlation modes (ProWGen supports all three; zero
+/// correlation is both its and our default).
+enum class SizeCorrelation {
+  kNone,      ///< sizes independent of popularity
+  kPositive,  ///< popular objects tend to be larger
+  kNegative,  ///< popular objects tend to be smaller
+};
+
+struct ProWGenConfig {
+  std::uint64_t total_requests = 1'000'000;
+  ObjectNum distinct_objects = 10'000;
+  /// Fraction of distinct objects referenced exactly once.
+  double one_timer_fraction = 0.5;
+  /// Zipf slope for the popularity of multi-referenced objects.
+  double zipf_alpha = 0.7;
+  /// LRU stack size as a fraction of the multi-referenced object count.
+  double lru_stack_fraction = 0.2;
+  /// How strongly the stack's reference mass is favoured over the pool's;
+  /// 1.0 = no temporal clustering beyond natural popularity, larger values
+  /// concentrate re-references while objects sit in the stack.
+  double temporal_amplifier = 4.0;
+  /// Fraction of stack draws that re-reference an entry of the recent-
+  /// reference window (recency-weighted) instead of sampling the stack by
+  /// remaining mass. This is what makes stack draws genuinely *temporal*
+  /// rather than a restatement of popularity.
+  double recency_bias = 0.25;
+  /// Length of the recent-reference window, in requests. Deliberately
+  /// independent of the LRU stack size: as in ProWGen's stack-depth model,
+  /// temporally-local re-references land near the top of the stack no
+  /// matter how large the stack is — the stack size only controls how much
+  /// of the reference mass flows through the stack at all. This is what
+  /// makes a larger stack help a *single* cache (short re-reference
+  /// distances on more of the stream) rather than hurt it.
+  std::size_t recency_window = 256;
+  /// Number of clients the requests are attributed to (round-robin client
+  /// ids randomized per request).
+  ClientNum clients = 100;
+
+  // --- size model (unused by the unit-size experiments) ---
+  bool generate_sizes = false;
+  double lognormal_mu = 8.35;     ///< ln-space mean  (~ e^8.35 ≈ 4.2 KB median)
+  double lognormal_sigma = 1.3;   ///< ln-space stddev
+  double pareto_tail_fraction = 0.07;
+  double pareto_alpha = 1.2;
+  double pareto_scale = 10'000.0;  ///< tail minimum (bytes)
+  SizeCorrelation size_correlation = SizeCorrelation::kNone;
+
+  std::uint64_t seed = 42;
+};
+
+class ProWGen {
+ public:
+  explicit ProWGen(ProWGenConfig config);
+
+  /// Generates the full trace. Deterministic in (config, seed).
+  [[nodiscard]] Trace generate() const;
+
+  [[nodiscard]] const ProWGenConfig& config() const { return config_; }
+
+ private:
+  ProWGenConfig config_;
+};
+
+}  // namespace webcache::workload

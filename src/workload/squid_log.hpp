@@ -1,0 +1,39 @@
+// Squid access.log reader (native format), so real proxy logs — the kind
+// the UCB trace was distilled from — can be replayed directly:
+//
+//   timestamp elapsed client action/code size method URL ident hierarchy type
+//   1017772599.954 1 10.0.0.7 TCP_MISS/200 1374 GET http://a.com/x - DIRECT/- text/html
+//
+// Clients and URLs are mapped to dense ids in first-seen order; timestamps
+// become milliseconds. Lines that do not parse are skipped and counted, so
+// a hand-edited or truncated log degrades gracefully.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace webcache::workload {
+
+struct SquidReadOptions {
+  /// Keep only GET requests (what a cache can serve); everything else is
+  /// skipped but counted.
+  bool only_get = true;
+  /// Keep only responses with 2xx/3xx status codes.
+  bool only_successful = true;
+};
+
+struct SquidReadResult {
+  Trace trace;
+  std::uint64_t lines_total = 0;
+  std::uint64_t lines_skipped = 0;     ///< filtered (method/status)
+  std::uint64_t lines_malformed = 0;   ///< unparseable
+  ClientNum distinct_clients = 0;
+};
+
+[[nodiscard]] SquidReadResult read_squid_log(std::istream& in, SquidReadOptions options = {});
+[[nodiscard]] SquidReadResult read_squid_log_file(const std::string& path,
+                                                  SquidReadOptions options = {});
+
+}  // namespace webcache::workload

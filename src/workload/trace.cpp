@@ -1,0 +1,92 @@
+#include "workload/trace.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace webcache::workload {
+
+namespace {
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  const auto* first = token.data();
+  const auto* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+}  // namespace
+
+Trace read_trace(std::istream& in) {
+  Trace trace;
+  std::unordered_map<std::string, ObjectNum> url_ids;
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string time_tok, client_tok, object_tok, size_tok;
+    fields >> time_tok >> client_tok >> object_tok;
+    if (object_tok.empty()) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": expected '<time> <client> <object> [size]'");
+    }
+    fields >> size_tok;  // optional
+
+    Request r;
+    std::uint64_t v = 0;
+    if (!parse_u64(time_tok, v)) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) + ": bad time");
+    }
+    r.time = v;
+    if (!parse_u64(client_tok, v)) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) + ": bad client");
+    }
+    r.client = static_cast<ClientNum>(v);
+
+    if (parse_u64(object_tok, v)) {
+      r.object = static_cast<ObjectNum>(v);
+      trace.distinct_objects = std::max(trace.distinct_objects, r.object + 1);
+    } else {
+      // URL token: assign dense ids in first-seen order.
+      const auto [it, inserted] =
+          url_ids.emplace(object_tok, static_cast<ObjectNum>(url_ids.size()));
+      r.object = it->second;
+      if (inserted) trace.distinct_objects = static_cast<ObjectNum>(url_ids.size());
+    }
+
+    if (!size_tok.empty()) {
+      if (!parse_u64(size_tok, v)) {
+        throw std::runtime_error("trace line " + std::to_string(line_no) + ": bad size");
+      }
+      r.size = v;
+    }
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  for (const auto& r : trace.requests) {
+    out << r.time << ' ' << r.client << ' ' << r.object << ' ' << r.size << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file for writing: " + path);
+  write_trace(out, trace);
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+}  // namespace webcache::workload

@@ -1,0 +1,39 @@
+// Request traces: the in-memory container plus a plain-text interchange
+// format so real proxy logs can be converted and replayed through the
+// simulator in place of the synthetic workloads.
+//
+// File format (one request per line, '#' comments ignored):
+//     <time> <client> <object-or-url> [size]
+// where <object-or-url> is either a decimal dense object id or any
+// non-numeric token (e.g. a URL), which the reader maps to dense ids in
+// first-seen order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace webcache::workload {
+
+/// An ordered request stream over a dense object universe.
+struct Trace {
+  std::vector<Request> requests;
+  ObjectNum distinct_objects = 0;  ///< object ids are in [0, distinct_objects)
+
+  [[nodiscard]] std::size_t size() const { return requests.size(); }
+  [[nodiscard]] bool empty() const { return requests.empty(); }
+};
+
+/// Reads a trace from a stream/file. Throws std::runtime_error on malformed
+/// input (wrong arity, non-numeric time/client, empty file is fine).
+[[nodiscard]] Trace read_trace(std::istream& in);
+[[nodiscard]] Trace read_trace_file(const std::string& path);
+
+/// Writes a trace in the text format (dense ids, size column included).
+void write_trace(std::ostream& out, const Trace& trace);
+void write_trace_file(const std::string& path, const Trace& trace);
+
+}  // namespace webcache::workload

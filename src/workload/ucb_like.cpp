@@ -1,0 +1,35 @@
+#include "workload/ucb_like.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace webcache::workload {
+
+namespace {
+constexpr std::uint64_t kUcbRequests = 9'244'728;  // published trace length
+constexpr double kRequestsPerObject = 9.0;         // universe calibration
+}  // namespace
+
+ProWGenConfig ucb_like_prowgen_config(const UcbLikeConfig& config) {
+  if (config.scale <= 0.0 || config.scale > 1.0) {
+    throw std::invalid_argument("UcbLike: scale must be in (0, 1]");
+  }
+  ProWGenConfig p;
+  p.total_requests = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(kUcbRequests) * config.scale));
+  p.distinct_objects = static_cast<ObjectNum>(
+      std::llround(static_cast<double>(p.total_requests) / kRequestsPerObject));
+  p.one_timer_fraction = 0.60;
+  p.zipf_alpha = 0.75;
+  p.lru_stack_fraction = 0.15;
+  p.temporal_amplifier = 5.0;  // dial-up users: milder clustering
+  p.clients = config.clients;
+  p.seed = config.seed;
+  return p;
+}
+
+Trace generate_ucb_like(const UcbLikeConfig& config) {
+  return ProWGen(ucb_like_prowgen_config(config)).generate();
+}
+
+}  // namespace webcache::workload

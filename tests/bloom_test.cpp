@@ -1,0 +1,130 @@
+#include "bloom/bloom_filter.hpp"
+#include "bloom/counting_bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+
+namespace webcache::bloom {
+namespace {
+
+Uint128 key(std::uint64_t i) { return Sha1::hash128("key/" + std::to_string(i)); }
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f(1000, 0.01);
+  for (std::uint64_t i = 0; i < 1000; ++i) f.insert(key(i));
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(f.may_contain(key(i))) << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  constexpr std::size_t kN = 10'000;
+  constexpr double kTarget = 0.01;
+  BloomFilter f(kN, kTarget);
+  for (std::uint64_t i = 0; i < kN; ++i) f.insert(key(i));
+
+  std::size_t fp = 0;
+  constexpr std::size_t kProbes = 20'000;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    if (f.may_contain(key(1'000'000 + i))) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / kProbes;
+  EXPECT_LT(rate, kTarget * 3.0);
+  EXPECT_GT(rate, kTarget / 10.0);  // a filter with no FPs at all is suspicious
+}
+
+TEST(BloomFilter, EstimatedFprTracksTheory) {
+  BloomFilter f(5000, 0.02);
+  for (std::uint64_t i = 0; i < 5000; ++i) f.insert(key(i));
+  EXPECT_NEAR(f.estimated_fpr(), f.theoretical_fpr(5000), 0.01);
+}
+
+TEST(BloomFilter, ClearEmptiesFilter) {
+  BloomFilter f(100, 0.01);
+  for (std::uint64_t i = 0; i < 100; ++i) f.insert(key(i));
+  f.clear();
+  EXPECT_EQ(f.inserted_count(), 0u);
+  EXPECT_EQ(f.fill_ratio(), 0.0);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(f.may_contain(key(i)));
+}
+
+TEST(BloomFilter, TighterTargetUsesMoreMemory) {
+  const BloomFilter loose(10'000, 0.1);
+  const BloomFilter tight(10'000, 0.001);
+  EXPECT_GT(tight.memory_bytes(), loose.memory_bytes());
+  EXPECT_GT(tight.hash_count(), loose.hash_count());
+}
+
+TEST(BloomFilter, RejectsBadTarget) {
+  EXPECT_THROW(BloomFilter(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 1.0), std::invalid_argument);
+}
+
+TEST(BloomFilter, ExplicitGeometryRespected) {
+  const BloomFilter f(std::size_t{1024}, 3u);
+  EXPECT_EQ(f.bit_count(), 1024u);
+  EXPECT_EQ(f.hash_count(), 3u);
+  EXPECT_EQ(f.memory_bytes(), 1024u / 8);
+}
+
+// --- counting bloom ---------------------------------------------------------
+
+TEST(CountingBloom, InsertEraseRestoresAbsence) {
+  CountingBloomFilter f(1000, 0.01);
+  for (std::uint64_t i = 0; i < 500; ++i) f.insert(key(i));
+  for (std::uint64_t i = 0; i < 500; ++i) EXPECT_TRUE(f.may_contain(key(i)));
+  for (std::uint64_t i = 0; i < 500; ++i) f.erase(key(i));
+  // After erasing everything, nothing should remain (no saturation at this
+  // load, so deletions are exact).
+  std::size_t still_present = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    if (f.may_contain(key(i))) ++still_present;
+  }
+  EXPECT_EQ(still_present, 0u);
+  EXPECT_EQ(f.saturation_events(), 0u);
+}
+
+TEST(CountingBloom, NoFalseNegativesUnderChurn) {
+  // Directory-like workload: rolling window of live keys.
+  CountingBloomFilter f(2000, 0.01);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    f.insert(key(i));
+    if (i >= 2000) f.erase(key(i - 2000));
+    // The most recent 100 keys must always be present.
+    if (i >= 100 && i % 97 == 0) {
+      for (std::uint64_t j = i - 99; j <= i; ++j) {
+        ASSERT_TRUE(f.may_contain(key(j))) << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(CountingBloom, SaturationCountsDuplicates) {
+  CountingBloomFilter f(std::size_t{64}, 2u);
+  // Insert the same key far beyond the 4-bit counter range.
+  for (int i = 0; i < 40; ++i) f.insert(key(1));
+  EXPECT_GT(f.saturation_events(), 0u);
+  // Saturated counters never decrement: the key stays (a false positive,
+  // never a false negative).
+  for (int i = 0; i < 40; ++i) f.erase(key(1));
+  EXPECT_TRUE(f.may_contain(key(1)));
+}
+
+TEST(CountingBloom, ClearResets) {
+  CountingBloomFilter f(100, 0.01);
+  f.insert(key(1));
+  f.clear();
+  EXPECT_FALSE(f.may_contain(key(1)));
+  EXPECT_EQ(f.saturation_events(), 0u);
+}
+
+TEST(CountingBloom, EstimatedFprGrowsWithLoad) {
+  CountingBloomFilter f(1000, 0.01);
+  const double empty = f.estimated_fpr();
+  for (std::uint64_t i = 0; i < 1000; ++i) f.insert(key(i));
+  EXPECT_GT(f.estimated_fpr(), empty);
+}
+
+}  // namespace
+}  // namespace webcache::bloom

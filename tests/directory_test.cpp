@@ -1,0 +1,103 @@
+#include "directory/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webcache::directory {
+namespace {
+
+TEST(ExactDirectory, TracksMembershipExactly) {
+  ExactDirectory d;
+  EXPECT_FALSE(d.may_contain(1));
+  d.add(1);
+  d.add(2);
+  EXPECT_TRUE(d.may_contain(1));
+  EXPECT_TRUE(d.may_contain(2));
+  EXPECT_FALSE(d.may_contain(3));
+  d.remove(1);
+  EXPECT_FALSE(d.may_contain(1));
+  EXPECT_EQ(d.entry_count(), 1u);
+  EXPECT_EQ(d.kind(), "exact");
+}
+
+TEST(ExactDirectory, RemoveOfAbsentIsNoop) {
+  ExactDirectory d;
+  d.remove(7);
+  EXPECT_EQ(d.entry_count(), 0u);
+}
+
+TEST(ExactDirectory, MemoryGrowsWithEntries) {
+  ExactDirectory d;
+  const auto empty = d.memory_bytes();
+  for (ObjectNum o = 0; o < 100; ++o) d.add(o);
+  EXPECT_GT(d.memory_bytes(), empty);
+}
+
+TEST(ObjectIdTable, StableAndDistinct) {
+  const auto table = build_object_id_table(100);
+  ASSERT_EQ(table->size(), 100u);
+  for (std::size_t i = 1; i < table->size(); ++i) {
+    EXPECT_NE((*table)[i], (*table)[0]);
+  }
+  // Ids derive from URLs, so a rebuilt table is identical.
+  const auto again = build_object_id_table(100);
+  EXPECT_EQ(*table, *again);
+}
+
+TEST(BloomDirectory, NoFalseNegatives) {
+  const auto table = build_object_id_table(2000);
+  BloomDirectory d(table, 500, 0.01);
+  for (ObjectNum o = 0; o < 500; ++o) d.add(o);
+  for (ObjectNum o = 0; o < 500; ++o) {
+    EXPECT_TRUE(d.may_contain(o)) << o;
+  }
+  EXPECT_EQ(d.entry_count(), 500u);
+  EXPECT_EQ(d.kind(), "bloom");
+}
+
+TEST(BloomDirectory, DeletionWorksUnderChurn) {
+  const auto table = build_object_id_table(5000);
+  BloomDirectory d(table, 200, 0.01);
+  // Rolling window of 200 live entries over 5000 objects.
+  for (ObjectNum o = 0; o < 5000; ++o) {
+    d.add(o);
+    if (o >= 200) d.remove(o - 200);
+    if (o >= 10 && o % 83 == 0) {
+      for (ObjectNum live = o - 9; live <= o; ++live) {
+        ASSERT_TRUE(d.may_contain(live)) << "o=" << o;
+      }
+    }
+  }
+}
+
+TEST(BloomDirectory, FalsePositiveRateIsBounded) {
+  const auto table = build_object_id_table(20'000);
+  BloomDirectory d(table, 1000, 0.01);
+  for (ObjectNum o = 0; o < 1000; ++o) d.add(o);
+  std::size_t fp = 0;
+  for (ObjectNum o = 1000; o < 20'000; ++o) {
+    if (d.may_contain(o)) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / 19'000.0, 0.03);
+}
+
+TEST(BloomDirectory, UsesLessMemoryThanExactAtScale) {
+  const auto table = build_object_id_table(10'000);
+  BloomDirectory bloom(table, 10'000, 0.01);
+  ExactDirectory exact;
+  for (ObjectNum o = 0; o < 10'000; ++o) {
+    bloom.add(o);
+    exact.add(o);
+  }
+  EXPECT_LT(bloom.memory_bytes(), exact.memory_bytes());
+}
+
+TEST(BloomDirectory, RejectsMissingTableAndOutOfRange) {
+  EXPECT_THROW(BloomDirectory(nullptr, 10, 0.01), std::invalid_argument);
+  const auto table = build_object_id_table(10);
+  BloomDirectory d(table, 10, 0.01);
+  EXPECT_THROW(d.add(10), std::out_of_range);
+  EXPECT_THROW((void)d.may_contain(10), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace webcache::directory

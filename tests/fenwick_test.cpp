@@ -1,0 +1,93 @@
+#include "common/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace webcache {
+namespace {
+
+TEST(Fenwick, PrefixSumsMatchNaive) {
+  FenwickTree t(10);
+  std::vector<double> w = {1, 0, 3, 2, 0, 5, 1, 0, 0, 4};
+  for (std::size_t i = 0; i < w.size(); ++i) t.set(i, w[i]);
+  double cum = 0.0;
+  for (std::size_t i = 0; i <= w.size(); ++i) {
+    EXPECT_NEAR(t.prefix_sum(i), cum, 1e-12);
+    if (i < w.size()) cum += w[i];
+  }
+  EXPECT_NEAR(t.total(), 16.0, 1e-12);
+}
+
+TEST(Fenwick, SetOverwritesAndAddAccumulates) {
+  FenwickTree t(4);
+  t.set(2, 5.0);
+  t.set(2, 3.0);
+  EXPECT_NEAR(t.weight(2), 3.0, 1e-12);
+  t.add(2, 2.0);
+  EXPECT_NEAR(t.weight(2), 5.0, 1e-12);
+  t.add(2, -5.0);
+  EXPECT_NEAR(t.weight(2), 0.0, 1e-12);
+  EXPECT_NEAR(t.total(), 0.0, 1e-9);
+}
+
+TEST(Fenwick, FindReturnsBucketContainingTarget) {
+  FenwickTree t(5);
+  t.set(0, 2.0);  // [0, 2)
+  t.set(2, 3.0);  // [2, 5)
+  t.set(4, 1.0);  // [5, 6)
+  EXPECT_EQ(t.find(0.0), 0u);
+  EXPECT_EQ(t.find(1.99), 0u);
+  EXPECT_EQ(t.find(2.0), 2u);
+  EXPECT_EQ(t.find(4.99), 2u);
+  EXPECT_EQ(t.find(5.0), 4u);
+  EXPECT_EQ(t.find(5.99), 4u);
+}
+
+TEST(Fenwick, FindNeverReturnsZeroWeightElement) {
+  FenwickTree t(100);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 100; i += 2) t.set(i, 1.0 + static_cast<double>(i % 7));
+  for (int draw = 0; draw < 10'000; ++draw) {
+    const auto idx = t.find(rng.next_double() * t.total());
+    ASSERT_GT(t.weight(idx), 0.0);
+    ASSERT_EQ(idx % 2, 0u);
+  }
+}
+
+TEST(Fenwick, SamplingFollowsWeights) {
+  FenwickTree t(3);
+  t.set(0, 1.0);
+  t.set(1, 2.0);
+  t.set(2, 7.0);
+  Rng rng(17);
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[t.find(rng.next_double() * t.total())];
+  EXPECT_NEAR(counts[0], kDraws * 0.1, kDraws * 0.01);
+  EXPECT_NEAR(counts[1], kDraws * 0.2, kDraws * 0.015);
+  EXPECT_NEAR(counts[2], kDraws * 0.7, kDraws * 0.02);
+}
+
+TEST(Fenwick, DynamicUpdatesDuringSampling) {
+  // The ProWGen pattern: weights decay to zero as references are consumed.
+  FenwickTree t(50);
+  std::vector<int> remaining(50, 10);
+  for (std::size_t i = 0; i < 50; ++i) t.set(i, 10.0);
+  Rng rng(23);
+  int total_draws = 0;
+  while (t.total() > 0.5) {
+    const auto idx = t.find(rng.next_double() * t.total());
+    ASSERT_GT(remaining[idx], 0);
+    --remaining[idx];
+    t.set(idx, static_cast<double>(remaining[idx]));
+    ++total_draws;
+  }
+  EXPECT_EQ(total_draws, 500);
+  for (const int r : remaining) EXPECT_EQ(r, 0);
+}
+
+}  // namespace
+}  // namespace webcache

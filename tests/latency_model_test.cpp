@@ -1,0 +1,85 @@
+#include "net/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/message_stats.hpp"
+
+namespace webcache::net {
+namespace {
+
+TEST(LatencyModel, PaperDefaultRatios) {
+  const auto m = LatencyModel::from_ratios();
+  EXPECT_DOUBLE_EQ(m.client_to_proxy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.p2p_fetch(), 1.4);
+  EXPECT_DOUBLE_EQ(m.proxy_to_proxy(), 2.0);
+  EXPECT_DOUBLE_EQ(m.server(), 20.0);
+}
+
+TEST(LatencyModel, RequestLatencyPerOutcome) {
+  const auto m = LatencyModel::from_ratios();
+  EXPECT_DOUBLE_EQ(m.request_latency(ServedFrom::kLocalProxy), 1.0);
+  EXPECT_DOUBLE_EQ(m.request_latency(ServedFrom::kLocalP2P), 2.4);
+  EXPECT_DOUBLE_EQ(m.request_latency(ServedFrom::kRemoteProxy), 3.0);
+  EXPECT_DOUBLE_EQ(m.request_latency(ServedFrom::kRemoteP2P), 4.4);
+  EXPECT_DOUBLE_EQ(m.request_latency(ServedFrom::kOriginServer), 21.0);
+}
+
+TEST(LatencyModel, OutcomeLatenciesAreOrdered) {
+  // The hierarchy the schemes exploit: local < p2p < remote < remote p2p < server.
+  for (const double ts_tc : {2.0, 5.0, 10.0}) {
+    for (const double ts_tl : {5.0, 10.0, 20.0}) {
+      const auto m = LatencyModel::from_ratios(ts_tc, ts_tl, 1.4);
+      EXPECT_LT(m.request_latency(ServedFrom::kLocalProxy),
+                m.request_latency(ServedFrom::kLocalP2P));
+      EXPECT_LE(m.request_latency(ServedFrom::kRemoteProxy),
+                m.request_latency(ServedFrom::kRemoteP2P));
+      EXPECT_LT(m.request_latency(ServedFrom::kRemoteP2P),
+                m.request_latency(ServedFrom::kOriginServer));
+    }
+  }
+}
+
+TEST(LatencyModel, FetchCostExcludesClientLeg) {
+  const auto m = LatencyModel::from_ratios();
+  EXPECT_DOUBLE_EQ(m.fetch_cost(ServedFrom::kLocalProxy), 0.0);
+  EXPECT_DOUBLE_EQ(m.fetch_cost(ServedFrom::kOriginServer), 20.0);
+  EXPECT_DOUBLE_EQ(m.request_latency(ServedFrom::kOriginServer),
+                   m.fetch_cost(ServedFrom::kOriginServer) + m.client_to_proxy());
+}
+
+TEST(LatencyModel, AbsoluteConstructorValidates) {
+  EXPECT_NO_THROW(LatencyModel(20, 2, 1, 1.4));
+  EXPECT_THROW(LatencyModel(0, 0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(LatencyModel(2, 20, 1, 1.4), std::invalid_argument);  // Tc > Ts
+  EXPECT_THROW(LatencyModel(20, -1, 1, 1.4), std::invalid_argument);
+}
+
+TEST(LatencyModel, RatioConstructorValidates) {
+  EXPECT_THROW(LatencyModel::from_ratios(0.5, 20, 1.4), std::invalid_argument);
+  EXPECT_THROW(LatencyModel::from_ratios(10, 0.5, 1.4), std::invalid_argument);
+  EXPECT_THROW(LatencyModel::from_ratios(10, 20, 0.0), std::invalid_argument);
+}
+
+TEST(MessageStats, MergeAddsAllCounters) {
+  MessageStats a, b;
+  a.destage_piggybacked = 5;
+  a.push_requests = 2;
+  b.destage_piggybacked = 3;
+  b.diversions = 7;
+  b.directory_false_positives = 1;
+  a.merge(b);
+  EXPECT_EQ(a.destage_piggybacked, 8u);
+  EXPECT_EQ(a.push_requests, 2u);
+  EXPECT_EQ(a.diversions, 7u);
+  EXPECT_EQ(a.directory_false_positives, 1u);
+}
+
+TEST(MessageStats, PiggybackSavingsAccounting) {
+  MessageStats m;
+  m.destage_piggybacked = 90;
+  m.destage_dedicated = 10;
+  EXPECT_EQ(m.destage_messages_without_piggyback(), 100u);
+}
+
+}  // namespace
+}  // namespace webcache::net

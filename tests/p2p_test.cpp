@@ -1,0 +1,251 @@
+#include "p2p/p2p_client_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "directory/directory.hpp"
+
+namespace webcache::p2p {
+namespace {
+
+constexpr ObjectNum kUniverse = 2000;
+
+P2PClientCache make_p2p(ClientNum clients = 20, std::size_t per_client = 3,
+                        bool diversion = true) {
+  P2PConfig cfg;
+  cfg.clients = clients;
+  cfg.per_client_capacity = per_client;
+  cfg.enable_diversion = diversion;
+  return P2PClientCache(cfg, directory::build_object_id_table(kUniverse));
+}
+
+TEST(P2P, StoreThenFetchRoundTrip) {
+  auto p2p = make_p2p();
+  const auto stored = p2p.store(42, 20.0, 0);
+  EXPECT_TRUE(stored.stored);
+  EXPECT_TRUE(p2p.contains(42));
+
+  const auto fetched = p2p.fetch(42, 5, /*remove_on_hit=*/true);
+  EXPECT_TRUE(fetched.hit);
+  EXPECT_TRUE(fetched.removed);
+  EXPECT_FALSE(p2p.contains(42));
+}
+
+TEST(P2P, FetchMissesAbsentObjects) {
+  auto p2p = make_p2p();
+  const auto fetched = p2p.fetch(7, 0);
+  EXPECT_FALSE(fetched.hit);
+}
+
+TEST(P2P, FetchWithoutRemovalKeepsObject) {
+  auto p2p = make_p2p();
+  p2p.store(1, 20.0, 0);
+  const auto fetched = p2p.fetch(1, 3, /*remove_on_hit=*/false);
+  EXPECT_TRUE(fetched.hit);
+  EXPECT_FALSE(fetched.removed);
+  EXPECT_TRUE(p2p.contains(1));
+}
+
+TEST(P2P, DoubleStoreRefreshesInsteadOfDuplicating) {
+  auto p2p = make_p2p();
+  p2p.store(9, 20.0, 0);
+  const auto again = p2p.store(9, 20.0, 1);
+  EXPECT_TRUE(again.already_present);
+  EXPECT_EQ(p2p.size(), 1u);
+}
+
+TEST(P2P, SizeNeverExceedsTotalCapacity) {
+  auto p2p = make_p2p(10, 2);
+  for (ObjectNum o = 0; o < 500; ++o) {
+    p2p.store(o, 20.0, static_cast<ClientNum>(o % 10));
+    ASSERT_LE(p2p.size(), p2p.total_capacity());
+  }
+  // A long-filled cache sits at capacity.
+  EXPECT_EQ(p2p.size(), p2p.total_capacity());
+}
+
+TEST(P2P, DiversionKicksInWhenRootIsFull) {
+  auto with = make_p2p(20, 2, /*diversion=*/true);
+  for (ObjectNum o = 0; o < 300; ++o) {
+    with.store(o, 20.0, static_cast<ClientNum>(o % 20));
+  }
+  EXPECT_GT(with.messages().diversions, 0u);
+
+  auto without = make_p2p(20, 2, /*diversion=*/false);
+  for (ObjectNum o = 0; o < 300; ++o) {
+    without.store(o, 20.0, static_cast<ClientNum>(o % 20));
+  }
+  EXPECT_EQ(without.messages().diversions, 0u);
+}
+
+TEST(P2P, DiversionBalancesUtilization) {
+  // Before any replacement pressure, diversion spreads load: with skewed
+  // roots, some nodes fill first, and diversion moves the overflow to
+  // leaf-set peers instead of evicting.
+  auto with = make_p2p(30, 4, /*diversion=*/true);
+  auto without = make_p2p(30, 4, /*diversion=*/false);
+  // Store just under total capacity so diversion (not replacement) is the
+  // relief valve.
+  const auto n = static_cast<ObjectNum>(with.total_capacity() - 10);
+  for (ObjectNum o = 0; o < n; ++o) {
+    with.store(o, 20.0, static_cast<ClientNum>(o % 30));
+    without.store(o, 20.0, static_cast<ClientNum>(o % 30));
+  }
+  // Without diversion, full roots evict while others sit empty, so strictly
+  // fewer objects survive.
+  EXPECT_GT(with.size(), without.size());
+  EXPECT_LE(with.utilization_cv(), without.utilization_cv() + 1e-9);
+}
+
+TEST(P2P, DivertedObjectsAreFetchable) {
+  auto p2p = make_p2p(20, 2, /*diversion=*/true);
+  std::vector<ObjectNum> stored;
+  for (ObjectNum o = 0; o < 200; ++o) {
+    const auto out = p2p.store(o, 20.0, static_cast<ClientNum>(o % 20));
+    if (out.stored && out.diverted) stored.push_back(o);
+  }
+  ASSERT_FALSE(stored.empty());
+  std::size_t via_pointer = 0;
+  for (const auto o : stored) {
+    if (!p2p.contains(o)) continue;  // may have been displaced later
+    const auto f = p2p.fetch(o, 0, /*remove_on_hit=*/false);
+    EXPECT_TRUE(f.hit) << "diverted object " << o;
+    via_pointer += f.via_diversion_pointer ? 1u : 0u;
+  }
+  EXPECT_GT(via_pointer, 0u);
+}
+
+TEST(P2P, DisplacedObjectsAreReportedAndGone) {
+  auto p2p = make_p2p(5, 1, /*diversion=*/false);
+  std::size_t displaced = 0;
+  for (ObjectNum o = 0; o < 100; ++o) {
+    const auto out = p2p.store(o, 20.0, static_cast<ClientNum>(o % 5));
+    if (out.displaced) {
+      ++displaced;
+      EXPECT_FALSE(p2p.contains(*out.displaced));
+    }
+  }
+  EXPECT_GT(displaced, 0u);
+}
+
+TEST(P2P, GreedyDualKeepsExpensiveObjectsInClients) {
+  auto p2p = make_p2p(4, 2, /*diversion=*/false);
+  // Fill with cheap objects, then store expensive ones; under pressure the
+  // cheap ones should be displaced first at each node.
+  for (ObjectNum o = 0; o < 8; ++o) p2p.store(o, 1.0, 0);
+  for (ObjectNum o = 100; o < 140; ++o) p2p.store(o, 20.0, 0);
+  std::size_t cheap_alive = 0;
+  for (ObjectNum o = 0; o < 8; ++o) cheap_alive += p2p.contains(o) ? 1u : 0u;
+  std::size_t expensive_alive = 0;
+  for (ObjectNum o = 100; o < 140; ++o) expensive_alive += p2p.contains(o) ? 1u : 0u;
+  EXPECT_GT(expensive_alive, cheap_alive);
+}
+
+TEST(P2P, HopsBoundedByOverlayExpectation) {
+  auto p2p = make_p2p(64, 2);
+  unsigned max_hops = 0;
+  for (ObjectNum o = 0; o < 200; ++o) {
+    const auto out = p2p.store(o, 20.0, static_cast<ClientNum>(o % 64));
+    max_hops = std::max(max_hops, out.hops);
+  }
+  // Expected log_16(64) ~= 2; +1 diversion hop, +2 slack.
+  EXPECT_LE(max_hops, p2p.overlay().expected_hop_bound() + 3);
+}
+
+TEST(P2P, FailClientLosesItsObjectsOnly) {
+  auto p2p = make_p2p(10, 3);
+  for (ObjectNum o = 0; o < 25; ++o) p2p.store(o, 20.0, static_cast<ClientNum>(o % 10));
+  const auto before = p2p.size();
+  const auto lost = p2p.fail_client(3);
+  EXPECT_FALSE(p2p.client_alive(3));
+  EXPECT_EQ(p2p.size(), before - lost.size());
+  for (const auto o : lost) EXPECT_FALSE(p2p.contains(o));
+  // Everything else still fetchable via the (repaired-on-use) overlay.
+  for (ObjectNum o = 0; o < 25; ++o) {
+    if (!p2p.contains(o)) continue;
+    const auto f = p2p.fetch(o, 0, /*remove_on_hit=*/false);
+    EXPECT_TRUE(f.hit) << o;
+  }
+}
+
+TEST(P2P, StoreAfterFailuresStillWorks) {
+  auto p2p = make_p2p(12, 2);
+  for (ClientNum c : {1u, 5u, 9u}) p2p.fail_client(c);
+  p2p.repair();
+  for (ObjectNum o = 0; o < 60; ++o) {
+    const ClientNum via = static_cast<ClientNum>(o % 12);
+    if (!p2p.client_alive(via)) continue;
+    const auto out = p2p.store(o, 20.0, via);
+    EXPECT_TRUE(out.stored);
+  }
+  EXPECT_GT(p2p.size(), 0u);
+}
+
+TEST(P2P, RejectsInvalidArguments) {
+  auto p2p = make_p2p(4, 1);
+  EXPECT_THROW((void)p2p.store(1, 1.0, 99), std::invalid_argument);
+  EXPECT_THROW((void)p2p.fetch(1, 99), std::invalid_argument);
+  EXPECT_THROW((void)p2p.fail_client(99), std::invalid_argument);
+  EXPECT_THROW((void)p2p.contents_of(99), std::invalid_argument);
+  EXPECT_THROW((void)p2p.store(kUniverse + 5, 1.0, 0), std::out_of_range);
+  P2PConfig bad;
+  bad.clients = 0;
+  EXPECT_THROW(P2PClientCache(bad, directory::build_object_id_table(10)),
+               std::invalid_argument);
+  P2PConfig ok;
+  EXPECT_THROW(P2PClientCache(ok, nullptr), std::invalid_argument);
+}
+
+TEST(P2P, MessageCountersAdvance) {
+  auto p2p = make_p2p(16, 1);
+  for (ObjectNum o = 0; o < 100; ++o) {
+    p2p.store(o, 20.0, static_cast<ClientNum>(o % 16));
+  }
+  const auto& m = p2p.messages();
+  EXPECT_GT(m.store_receipts, 0u);
+  EXPECT_GT(m.pastry_forward_messages, 0u);
+}
+
+TEST(P2P, CapacitySpreadsPreserveTheTotalBudget) {
+  P2PConfig cfg;
+  cfg.clients = 100;
+  cfg.per_client_capacity = 6;
+  for (const auto spread : {CapacitySpread::kUniform, CapacitySpread::kBimodal,
+                            CapacitySpread::kProportional}) {
+    cfg.capacity_spread = spread;
+    std::size_t total = 0;
+    for (ClientNum c = 0; c < cfg.clients; ++c) total += client_capacity(cfg, c);
+    // Equal storage budget up to rounding (within 2% of uniform).
+    const std::size_t uniform_total =
+        static_cast<std::size_t>(cfg.clients) * cfg.per_client_capacity;
+    EXPECT_NEAR(static_cast<double>(total), static_cast<double>(uniform_total),
+                0.02 * static_cast<double>(uniform_total))
+        << static_cast<int>(spread);
+  }
+}
+
+TEST(P2P, BimodalSpreadAlternatesBigAndSmall) {
+  P2PConfig cfg;
+  cfg.per_client_capacity = 4;
+  cfg.capacity_spread = CapacitySpread::kBimodal;
+  EXPECT_EQ(client_capacity(cfg, 0), 6u);  // 1.5x
+  EXPECT_EQ(client_capacity(cfg, 1), 2u);  // 0.5x
+  EXPECT_EQ(client_capacity(cfg, 0) + client_capacity(cfg, 1), 8u);
+}
+
+TEST(P2P, HeterogeneousPopulationStillWorksEndToEnd) {
+  P2PConfig cfg;
+  cfg.clients = 30;
+  cfg.per_client_capacity = 3;
+  cfg.capacity_spread = CapacitySpread::kProportional;
+  P2PClientCache p2p(cfg, directory::build_object_id_table(kUniverse));
+  for (ObjectNum o = 0; o < 200; ++o) {
+    const auto out = p2p.store(o, 20.0, static_cast<ClientNum>(o % 30));
+    EXPECT_TRUE(out.stored);
+    ASSERT_LE(p2p.size(), p2p.total_capacity());
+  }
+  // Diversion lets the skewed population fill close to its total budget.
+  EXPECT_GT(p2p.size(), p2p.total_capacity() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace webcache::p2p

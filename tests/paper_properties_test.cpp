@@ -1,0 +1,153 @@
+// The paper's experimental findings, encoded as properties. Each test pins
+// the mechanism behind one figure, on reduced workloads, so a regression in
+// any substrate that would silently change an experimental conclusion fails
+// CI rather than just bending a curve.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "workload/prowgen.hpp"
+
+namespace webcache {
+namespace {
+
+workload::Trace make_trace(double alpha, double stack_fraction,
+                           std::uint64_t requests = 100'000, std::uint64_t seed = 303) {
+  workload::ProWGenConfig cfg;
+  cfg.total_requests = requests;
+  cfg.distinct_objects = 3'000;
+  cfg.zipf_alpha = alpha;
+  cfg.lru_stack_fraction = stack_fraction;
+  // Full recency bias: these properties probe the locality *mechanisms*,
+  // which need the knob's full dynamic range (the shipped default is milder).
+  cfg.recency_bias = 0.5;
+  cfg.seed = seed;
+  return workload::ProWGen(cfg).generate();
+}
+
+double gain_at(const workload::Trace& trace, sim::Scheme scheme, double cache_percent,
+               const net::LatencyModel& latencies = net::LatencyModel::from_ratios(),
+               ClientNum clients = 100, unsigned proxies = 2) {
+  const auto infinite = core::cluster_infinite_cache_size(trace, proxies);
+  sim::SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_proxies = proxies;
+  cfg.clients_per_cluster = clients;
+  cfg.latencies = latencies;
+  cfg.proxy_capacity = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cache_percent / 100.0 * static_cast<double>(infinite)));
+  cfg.client_cache_capacity = std::max<std::size_t>(1, infinite / 1000);
+  return core::run_single(trace, cfg).gain_percent;
+}
+
+// Figure 3 mechanism: smaller alpha = less skew = larger working set =
+// cooperation matters more.
+TEST(PaperProperties, Fig3_SmallerAlphaYieldsLargerGains) {
+  const auto flat = make_trace(0.5, 0.2);
+  const auto skewed = make_trace(1.0, 0.2);
+  for (const auto scheme : {sim::Scheme::kFC, sim::Scheme::kFC_EC, sim::Scheme::kHierGD}) {
+    const double g_flat = gain_at(flat, scheme, 30);
+    const double g_skew = gain_at(skewed, scheme, 30);
+    EXPECT_GT(g_flat, g_skew) << sim::to_string(scheme);
+  }
+}
+
+// Figure 4 mechanism: a larger LRU stack strengthens temporal locality,
+// which helps the isolated NC cache "significantly" (the paper's words),
+// shrinking the relative gain of the frequency-coordinated schemes.
+TEST(PaperProperties, Fig4_StrongerLocalityHelpsNcAndShrinksCoordinatedGains) {
+  const auto weak = make_trace(0.7, 0.05);
+  const auto strong = make_trace(0.7, 0.6);
+
+  // NC itself gets better in absolute terms (requires the LFU-DA baseline;
+  // pure LFU is provably locality-blind under a fixed popularity marginal).
+  const auto infinite_weak = core::cluster_infinite_cache_size(weak, 2);
+  const auto infinite_strong = core::cluster_infinite_cache_size(strong, 2);
+  sim::SimConfig nc;
+  nc.scheme = sim::Scheme::kNC;
+  nc.proxy_capacity = std::max<std::size_t>(1, infinite_weak * 30 / 100);
+  const auto m_weak = sim::run_simulation(nc, weak);
+  nc.proxy_capacity = std::max<std::size_t>(1, infinite_strong * 30 / 100);
+  const auto m_strong = sim::run_simulation(nc, strong);
+  EXPECT_LT(m_strong.mean_latency(), m_weak.mean_latency() * 0.95);
+
+  // The frequency-coordinated schemes' relative gain shrinks, as in the
+  // paper's FC and FC-EC panels.
+  for (const auto scheme : {sim::Scheme::kFC, sim::Scheme::kFC_EC}) {
+    EXPECT_GT(gain_at(weak, scheme, 30), gain_at(strong, scheme, 30))
+        << sim::to_string(scheme);
+  }
+
+  // KNOWN DIVERGENCE (see EXPERIMENTS.md): the paper reports the same
+  // shrinking trend for Hier-GD; in this reproduction Hier-GD's gain GROWS
+  // with locality, because greedy-dual at both tiers exploits recency that
+  // the paper's coupled popularity/locality workload handed to NC instead.
+  // Pin the current direction so an unnoticed flip forces a docs update.
+  EXPECT_GT(gain_at(strong, sim::Scheme::kHierGD, 30),
+            gain_at(weak, sim::Scheme::kHierGD, 30));
+}
+
+// Figure 5(a) mechanism: cheaper proxy-to-proxy links (larger Ts/Tc) make
+// cooperation more valuable.
+TEST(PaperProperties, Fig5a_LargerTsOverTcYieldsLargerGains) {
+  const auto trace = make_trace(0.7, 0.2);
+  double previous = -1.0;
+  for (const double ratio : {2.0, 5.0, 10.0}) {
+    const double g = gain_at(trace, sim::Scheme::kHierGD, 20,
+                             net::LatencyModel::from_ratios(ratio));
+    EXPECT_GT(g, previous) << "Ts/Tc=" << ratio;
+    previous = g;
+  }
+}
+
+// Figure 5(b) mechanism: a relatively faster client-proxy hop (larger
+// Ts/Tl) raises the gain of every cached outcome.
+TEST(PaperProperties, Fig5b_LargerTsOverTlYieldsLargerGains) {
+  const auto trace = make_trace(0.7, 0.2);
+  double previous = -1.0;
+  for (const double ratio : {5.0, 10.0, 20.0}) {
+    const double g = gain_at(trace, sim::Scheme::kHierGD, 20,
+                             net::LatencyModel::from_ratios(10.0, ratio));
+    EXPECT_GT(g, previous) << "Ts/Tl=" << ratio;
+    previous = g;
+  }
+}
+
+// Figure 5(c) mechanism: more client caches = a larger P2P tier = more gain,
+// with diminishing absolute latency, monotone across the paper's sweep.
+TEST(PaperProperties, Fig5c_LargerClientClustersYieldLargerGains) {
+  const auto trace = make_trace(0.7, 0.2);
+  double previous = -1.0;
+  for (const ClientNum clients : {50u, 150u, 400u}) {
+    const double g = gain_at(trace, sim::Scheme::kHierGD, 15,
+                             net::LatencyModel::from_ratios(), clients);
+    EXPECT_GT(g, previous) << "clients=" << clients;
+    previous = g;
+  }
+}
+
+// Figure 5(d) mechanism: more cooperating proxies = more places to find an
+// object short of the origin server.
+TEST(PaperProperties, Fig5d_LargerProxyClustersYieldLargerGains) {
+  const auto trace = make_trace(0.7, 0.2, 150'000);
+  const double g2 = gain_at(trace, sim::Scheme::kHierGD, 15,
+                            net::LatencyModel::from_ratios(), 100, 2);
+  const double g5 = gain_at(trace, sim::Scheme::kHierGD, 15,
+                            net::LatencyModel::from_ratios(), 100, 5);
+  EXPECT_GT(g5, g2);
+}
+
+// Figure 2 mechanism (the headline): the advantage of exploiting client
+// caches over the matching base scheme is largest when proxy caches are
+// small relative to the object universe.
+TEST(PaperProperties, Fig2_ClientCacheAdvantageShrinksWithProxySize) {
+  const auto trace = make_trace(0.7, 0.2);
+  const double delta_small =
+      gain_at(trace, sim::Scheme::kSC_EC, 10) - gain_at(trace, sim::Scheme::kSC, 10);
+  const double delta_large =
+      gain_at(trace, sim::Scheme::kSC_EC, 90) - gain_at(trace, sim::Scheme::kSC, 90);
+  EXPECT_GT(delta_small, delta_large);
+  EXPECT_GT(delta_small, 0.0);
+}
+
+}  // namespace
+}  // namespace webcache

@@ -1,0 +1,124 @@
+// Tests for Pastry's proximity-aware routing (locality property) and the
+// route-distance accounting behind the relative-delay-penalty measurements.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "pastry/overlay.hpp"
+
+namespace webcache::pastry {
+namespace {
+
+NodeId id_for(int i) { return node_id_for("prox/node" + std::to_string(i)); }
+Uint128 key_for(int i) { return Sha1::hash128("prox/key" + std::to_string(i)); }
+
+Overlay make_overlay(int n, bool proximity_on) {
+  OverlayConfig cfg;
+  cfg.proximity_routing = proximity_on;
+  Overlay o(cfg);
+  for (int i = 0; i < n; ++i) o.add_node(id_for(i));
+  return o;
+}
+
+TEST(Proximity, MetricIsEuclidean) {
+  EXPECT_DOUBLE_EQ(proximity({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(proximity({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Proximity, DefaultCoordinatesAreDeterministicAndSpread) {
+  const auto a = default_coordinates(id_for(1));
+  const auto b = default_coordinates(id_for(1));
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.y, b.y);
+  // Coordinates land in the unit square and differ across nodes.
+  double min_x = 1, max_x = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto c = default_coordinates(id_for(i));
+    ASSERT_GE(c.x, 0.0);
+    ASSERT_LT(c.x, 1.0);
+    ASSERT_GE(c.y, 0.0);
+    ASSERT_LT(c.y, 1.0);
+    min_x = std::min(min_x, c.x);
+    max_x = std::max(max_x, c.x);
+  }
+  EXPECT_LT(min_x, 0.2);
+  EXPECT_GT(max_x, 0.8);
+}
+
+TEST(Proximity, ExplicitCoordinatesAreStored) {
+  Overlay o{{}};
+  o.add_node(id_for(0), Coordinates{0.25, 0.75});
+  EXPECT_DOUBLE_EQ(o.coordinates_of(id_for(0)).x, 0.25);
+  EXPECT_DOUBLE_EQ(o.coordinates_of(id_for(0)).y, 0.75);
+}
+
+TEST(Proximity, RoutingStaysCorrectWithProximityTables) {
+  auto overlay = make_overlay(100, /*proximity_on=*/true);
+  const auto ids = overlay.nodes();
+  Rng rng(8);
+  for (int k = 0; k < 500; ++k) {
+    const auto r = overlay.route(ids[rng.next_below(ids.size())], key_for(k));
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.destination, overlay.root_of(key_for(k)));
+  }
+}
+
+TEST(Proximity, RouteDistanceIsSumOfHopDistances) {
+  auto overlay = make_overlay(64, /*proximity_on=*/false);
+  const auto ids = overlay.nodes();
+  Rng rng(9);
+  for (int k = 0; k < 200; ++k) {
+    const auto& from = ids[rng.next_below(ids.size())];
+    const auto r = overlay.route(from, key_for(k));
+    if (r.hops == 0) {
+      EXPECT_DOUBLE_EQ(r.distance, 0.0);
+    } else {
+      EXPECT_GT(r.distance, 0.0);
+      // A route of h hops across the unit square cannot exceed h * sqrt(2).
+      EXPECT_LE(r.distance, static_cast<double>(r.hops) * 1.4143);
+    }
+  }
+}
+
+TEST(Proximity, LocalityTablesReduceRouteDistance) {
+  // The Pastry locality property: with proximity-aware table population the
+  // aggregate network distance travelled drops versus arbitrary candidates,
+  // without hurting hop counts.
+  auto naive = make_overlay(256, false);
+  auto local = make_overlay(256, true);
+  const auto ids = naive.nodes();
+  Rng rng(10);
+  double naive_distance = 0, local_distance = 0;
+  std::uint64_t naive_hops = 0, local_hops = 0;
+  for (int k = 0; k < 2000; ++k) {
+    const auto& from = ids[rng.next_below(ids.size())];
+    const auto key = key_for(k);
+    const auto rn = naive.route(from, key);
+    const auto rl = local.route(from, key);
+    ASSERT_TRUE(rn.success);
+    ASSERT_TRUE(rl.success);
+    EXPECT_EQ(rn.destination, rl.destination);
+    naive_distance += rn.distance;
+    local_distance += rl.distance;
+    naive_hops += rn.hops;
+    local_hops += rl.hops;
+  }
+  EXPECT_LT(local_distance, naive_distance * 0.95);
+  // Hop counts remain essentially identical (same prefix-routing structure).
+  EXPECT_NEAR(static_cast<double>(local_hops), static_cast<double>(naive_hops),
+              0.1 * static_cast<double>(naive_hops));
+}
+
+TEST(Proximity, SurvivesChurn) {
+  auto overlay = make_overlay(80, /*proximity_on=*/true);
+  for (int i = 0; i < 20; ++i) overlay.fail_node(id_for(i));
+  const auto ids = overlay.nodes();
+  Rng rng(11);
+  for (int k = 0; k < 300; ++k) {
+    const auto r = overlay.route(ids[rng.next_below(ids.size())], key_for(k));
+    ASSERT_TRUE(r.success);
+  }
+}
+
+}  // namespace
+}  // namespace webcache::pastry

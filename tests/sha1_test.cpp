@@ -1,0 +1,81 @@
+#include "common/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace webcache {
+namespace {
+
+// RFC 3174 / FIPS 180-1 test vectors.
+TEST(Sha1, Rfc3174Vector1Abc) {
+  EXPECT_EQ(Sha1::to_hex(Sha1::hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Rfc3174Vector2TwoBlocks) {
+  EXPECT_EQ(Sha1::to_hex(Sha1::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, Rfc3174Vector3MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(Sha1::to_hex(h.digest()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, Rfc3174Vector4Repeated) {
+  Sha1 h;
+  for (int i = 0; i < 10; ++i) {
+    h.update("0123456701234567012345670123456701234567012345670123456701234567");
+  }
+  EXPECT_EQ(Sha1::to_hex(h.digest()), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+}
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(Sha1::to_hex(Sha1::hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64 bytes: padding must spill into a second block.
+  const std::string s(64, 'x');
+  Sha1 a;
+  a.update(s);
+  Sha1 b;
+  for (char c : s) b.update(&c, 1);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string s = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (std::size_t split = 0; split <= s.size(); split += 7) {
+    Sha1 h;
+    h.update(s.substr(0, split));
+    h.update(s.substr(split));
+    EXPECT_EQ(h.digest(), Sha1::hash(s)) << "split at " << split;
+  }
+}
+
+TEST(Sha1, ResetRestoresInitialState) {
+  Sha1 h;
+  h.update("garbage");
+  (void)h.digest();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(Sha1::to_hex(h.digest()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Hash128TakesLeading128Bits) {
+  // SHA-1("abc") = a9993e364706816aba3e25717850c26c 9cd0d89d
+  const Uint128 id = Sha1::hash128("abc");
+  EXPECT_EQ(id.to_hex(), "a9993e364706816aba3e25717850c26c");
+}
+
+TEST(Sha1, DistinctUrlsGetDistinctIds) {
+  const auto a = Sha1::hash128("http://example.com/a");
+  const auto b = Sha1::hash128("http://example.com/b");
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace webcache

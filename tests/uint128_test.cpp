@@ -1,0 +1,136 @@
+#include "common/uint128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace webcache {
+namespace {
+
+TEST(Uint128, ComparisonOrdersByHighLimbFirst) {
+  EXPECT_LT(Uint128(0, 5), Uint128(1, 0));
+  EXPECT_LT(Uint128(1, 5), Uint128(1, 6));
+  EXPECT_EQ(Uint128(3, 4), Uint128(3, 4));
+  EXPECT_GT(Uint128(2, 0), Uint128(1, ~0ULL));
+}
+
+TEST(Uint128, AdditionCarriesAcrossLimbs) {
+  const Uint128 a(0, ~0ULL);
+  const Uint128 b(0, 1);
+  EXPECT_EQ(a + b, Uint128(1, 0));
+}
+
+TEST(Uint128, SubtractionBorrowsAcrossLimbs) {
+  EXPECT_EQ(Uint128(1, 0) - Uint128(0, 1), Uint128(0, ~0ULL));
+  EXPECT_EQ(Uint128(5, 7) - Uint128(5, 7), Uint128(0, 0));
+}
+
+TEST(Uint128, SubtractionWrapsModulo2To128) {
+  // 0 - 1 == 2^128 - 1: the ring arithmetic Pastry distances rely on.
+  const Uint128 wrapped = Uint128(0, 0) - Uint128(0, 1);
+  EXPECT_EQ(wrapped, Uint128(~0ULL, ~0ULL));
+}
+
+TEST(Uint128, ShiftsHandleAllRanges) {
+  const Uint128 one(0, 1);
+  EXPECT_EQ(one << 0, one);
+  EXPECT_EQ(one << 64, Uint128(1, 0));
+  EXPECT_EQ(one << 127, Uint128(1ULL << 63, 0));
+  EXPECT_EQ(one << 128, Uint128(0, 0));
+  const Uint128 top(1ULL << 63, 0);
+  EXPECT_EQ(top >> 127, one);
+  EXPECT_EQ(top >> 64, Uint128(0, 1ULL << 63));
+  EXPECT_EQ(top >> 128, Uint128(0, 0));
+  EXPECT_EQ(Uint128(3, 5) >> 0, Uint128(3, 5));
+}
+
+TEST(Uint128, ShiftAcrossLimbBoundaryKeepsBits) {
+  const Uint128 v(0, 0xFF00000000000000ULL);
+  EXPECT_EQ(v << 8, Uint128(0xFF, 0));
+  EXPECT_EQ(Uint128(0xFF, 0) >> 8, v);
+}
+
+TEST(Uint128, DigitExtractionBase16) {
+  // Hex digits, most significant first: value 0xABCD... at the top.
+  const Uint128 v = Uint128::from_hex("abcdef0123456789abcdef0123456789");
+  EXPECT_EQ(v.digit(0, 4), 0xAu);
+  EXPECT_EQ(v.digit(1, 4), 0xBu);
+  EXPECT_EQ(v.digit(15, 4), 0x9u);
+  EXPECT_EQ(v.digit(16, 4), 0xAu);
+  EXPECT_EQ(v.digit(31, 4), 0x9u);
+}
+
+TEST(Uint128, DigitExtractionOtherBases) {
+  const Uint128 v(0x8000000000000000ULL, 0);  // top bit set
+  EXPECT_EQ(v.digit(0, 1), 1u);
+  EXPECT_EQ(v.digit(1, 1), 0u);
+  EXPECT_EQ(v.digit(0, 2), 2u);  // binary 10
+  EXPECT_EQ(v.digit(0, 8), 0x80u);
+}
+
+TEST(Uint128, SharedPrefixLength) {
+  const Uint128 a = Uint128::from_hex("abcdef0123456789abcdef0123456789");
+  const Uint128 b = Uint128::from_hex("abcdee0123456789abcdef0123456789");
+  EXPECT_EQ(a.shared_prefix_length(b, 4), 5u);  // abcde shared, f vs e differ
+  EXPECT_EQ(a.shared_prefix_length(a, 4), 32u);
+  const Uint128 c = Uint128::from_hex("bbcdef0123456789abcdef0123456789");
+  EXPECT_EQ(a.shared_prefix_length(c, 4), 0u);
+}
+
+TEST(Uint128, RingDistanceTakesShorterArc) {
+  const Uint128 a(0, 10);
+  const Uint128 b(0, 20);
+  EXPECT_EQ(Uint128::ring_distance(a, b), Uint128(0, 10));
+  // Across the wrap point: distance between 1 and 2^128-1 is 2.
+  const Uint128 top(~0ULL, ~0ULL);
+  EXPECT_EQ(Uint128::ring_distance(Uint128(0, 1), top), Uint128(0, 2));
+}
+
+TEST(Uint128, ClockwiseDistanceWraps) {
+  EXPECT_EQ(Uint128::clockwise_distance(Uint128(0, 10), Uint128(0, 3)),
+            Uint128(0, 3) - Uint128(0, 10));
+}
+
+TEST(Uint128, HexRoundTrip) {
+  const Uint128 v(0x0123456789abcdefULL, 0xfedcba9876543210ULL);
+  EXPECT_EQ(v.to_hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(Uint128::from_hex(v.to_hex()), v);
+  EXPECT_EQ(Uint128::from_hex("ff"), Uint128(0, 255));
+}
+
+TEST(Uint128, FromHexRejectsBadInput) {
+  EXPECT_THROW((void)Uint128::from_hex(""), std::invalid_argument);
+  EXPECT_THROW((void)Uint128::from_hex(std::string(33, 'a')), std::invalid_argument);
+  EXPECT_THROW((void)Uint128::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(Uint128, FromBytesBigEndian) {
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[0] = 0x12;
+  bytes[15] = 0x34;
+  const Uint128 v = Uint128::from_bytes(bytes);
+  EXPECT_EQ(v.hi, 0x1200000000000000ULL);
+  EXPECT_EQ(v.lo, 0x34ULL);
+}
+
+TEST(Uint128, HashSpreadsValues) {
+  Uint128Hash h;
+  std::unordered_set<std::size_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(h(Uint128(0, i)));
+    seen.insert(h(Uint128(i, 0)));
+  }
+  // With a decent mix, essentially no collisions are expected here.
+  EXPECT_GT(seen.size(), 1990u);
+}
+
+TEST(Uint128, BitwiseOps) {
+  const Uint128 a(0xF0F0, 0x0F0F);
+  const Uint128 b(0x0FF0, 0xFF00);
+  EXPECT_EQ(a & b, Uint128(0x00F0, 0x0F00));
+  EXPECT_EQ(a | b, Uint128(0xFFF0, 0xFF0F));
+  EXPECT_EQ(a ^ b, Uint128(0xFF00, 0xF00F));
+}
+
+}  // namespace
+}  // namespace webcache

@@ -1,0 +1,278 @@
+// webcache_cli — command-line driver for the simulator.
+//
+//   webcache_cli generate [workload flags] --out trace.txt
+//   webcache_cli analyze  --trace trace.txt [--squid]
+//   webcache_cli simulate --scheme Hier-GD [workload/cluster flags]
+//   webcache_cli sweep    [--schemes NC,SC,...] [--cache-pcts 10,20,...]
+//                         [workload/cluster flags] [--csv out.csv]
+//
+// Workload flags (synthetic ProWGen; ignored when --trace/--squid given):
+//   --requests N --objects N --alpha X --one-timers X --stack X --seed N
+//   --amplifier X --recency-bias X
+// Cluster flags:
+//   --proxies N --clients N --cache-pct X --client-cache-pct X
+//   --directory exact|bloom --bloom-fpr X --no-diversion
+//   --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N
+//
+// Exit code 0 on success, 2 on usage errors.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "workload/prowgen.hpp"
+#include "workload/squid_log.hpp"
+#include "workload/stack_distance.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace {
+
+using namespace webcache;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: webcache_cli <generate|analyze|simulate|sweep> [flags]\n"
+      "  generate --out FILE [--requests N --objects N --alpha X --one-timers X\n"
+      "           --stack X --amplifier X --recency-bias X --clients N --seed N]\n"
+      "  analyze  --trace FILE [--squid]\n"
+      "  simulate --scheme NAME [workload flags | --trace FILE [--squid]]\n"
+      "           [--proxies N --clients N --cache-pct X --client-cache-pct X\n"
+      "            --directory exact|bloom --bloom-fpr X --no-diversion\n"
+      "            --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N]\n"
+      "  sweep    [--schemes A,B,...] [--cache-pcts 10,20,...] [--csv FILE]\n"
+      "           [same workload/cluster flags as simulate]\n"
+      "schemes: NC SC FC NC-EC SC-EC FC-EC Hier-GD Squirrel\n";
+  std::exit(2);
+}
+
+/// Minimal flag parser: --key value pairs plus boolean --key switches.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean switch
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+
+  [[nodiscard]] std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      usage("flag --" + key + " needs a number, got '" + it->second + "'");
+    }
+  }
+
+  [[nodiscard]] std::uint64_t integer(const std::string& key, std::uint64_t fallback) const {
+    return static_cast<std::uint64_t>(num(key, static_cast<double>(fallback)));
+  }
+
+  void reject_unknown(const std::vector<std::string>& known) const {
+    for (const auto& [key, _] : values_) {
+      bool ok = false;
+      for (const auto& k : known) ok = ok || k == key;
+      if (!ok) usage("unknown flag --" + key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+const std::vector<std::string> kWorkloadFlags = {
+    "requests", "objects", "alpha", "one-timers", "stack",
+    "amplifier", "recency-bias", "clients", "seed",
+};
+const std::vector<std::string> kClusterFlags = {
+    "proxies", "cache-pct", "client-cache-pct", "directory", "bloom-fpr",
+    "no-diversion", "ts-tc", "ts-tl", "tp2p-tl", "browser-cache",
+};
+
+workload::ProWGenConfig workload_from(const Flags& flags) {
+  workload::ProWGenConfig cfg;
+  cfg.total_requests = flags.integer("requests", 200'000);
+  cfg.distinct_objects = static_cast<ObjectNum>(flags.integer("objects", 10'000));
+  cfg.zipf_alpha = flags.num("alpha", cfg.zipf_alpha);
+  cfg.one_timer_fraction = flags.num("one-timers", cfg.one_timer_fraction);
+  cfg.lru_stack_fraction = flags.num("stack", cfg.lru_stack_fraction);
+  cfg.temporal_amplifier = flags.num("amplifier", cfg.temporal_amplifier);
+  cfg.recency_bias = flags.num("recency-bias", cfg.recency_bias);
+  cfg.clients = static_cast<ClientNum>(flags.integer("clients", cfg.clients));
+  cfg.seed = flags.integer("seed", cfg.seed);
+  return cfg;
+}
+
+workload::Trace trace_from(const Flags& flags) {
+  if (flags.has("trace")) {
+    const auto path = flags.str("trace", "");
+    if (flags.has("squid")) {
+      auto result = workload::read_squid_log_file(path);
+      std::cerr << "squid log: kept " << result.trace.size() << ", filtered "
+                << result.lines_skipped << ", malformed " << result.lines_malformed << "\n";
+      return std::move(result.trace);
+    }
+    return workload::read_trace_file(path);
+  }
+  return workload::ProWGen(workload_from(flags)).generate();
+}
+
+sim::SimConfig cluster_from(const Flags& flags, const workload::Trace& trace) {
+  sim::SimConfig cfg;
+  cfg.num_proxies = static_cast<unsigned>(flags.integer("proxies", 2));
+  cfg.clients_per_cluster = static_cast<ClientNum>(flags.integer("clients", 100));
+  cfg.latencies = net::LatencyModel::from_ratios(
+      flags.num("ts-tc", 10.0), flags.num("ts-tl", 20.0), flags.num("tp2p-tl", 1.4));
+
+  const auto infinite = core::cluster_infinite_cache_size(trace, cfg.num_proxies);
+  const double cache_pct = flags.num("cache-pct", 30.0);
+  const double client_pct = flags.num("client-cache-pct", 0.1);
+  cfg.proxy_capacity = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cache_pct / 100.0 * static_cast<double>(infinite)));
+  cfg.client_cache_capacity = std::max<std::size_t>(
+      1, static_cast<std::size_t>(client_pct / 100.0 * static_cast<double>(infinite)));
+
+  const auto dir = flags.str("directory", "exact");
+  if (dir == "bloom") {
+    cfg.directory = sim::DirectoryKind::kBloom;
+  } else if (dir != "exact") {
+    usage("--directory must be exact or bloom");
+  }
+  cfg.bloom_target_fpr = flags.num("bloom-fpr", cfg.bloom_target_fpr);
+  cfg.enable_diversion = !flags.has("no-diversion");
+  cfg.browser_cache_capacity = flags.integer("browser-cache", 0);
+  return cfg;
+}
+
+int cmd_generate(const Flags& flags) {
+  auto known = kWorkloadFlags;
+  known.push_back("out");
+  flags.reject_unknown(known);
+  if (!flags.has("out")) usage("generate needs --out FILE");
+  const auto trace = workload::ProWGen(workload_from(flags)).generate();
+  workload::write_trace_file(flags.str("out", ""), trace);
+  std::cout << "wrote " << trace.size() << " requests over " << trace.distinct_objects
+            << " objects to " << flags.str("out", "") << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Flags& flags) {
+  flags.reject_unknown({"trace", "squid"});
+  if (!flags.has("trace")) usage("analyze needs --trace FILE");
+  const auto trace = trace_from(flags);
+  const auto stats = workload::analyze(trace);
+  const auto distances = workload::lru_stack_distances(trace);
+  const auto locality = workload::summarize_stack_distances(distances);
+  std::cout << "requests              " << stats.total_requests << "\n"
+            << "distinct objects      " << stats.distinct_objects << "\n"
+            << "one-timers            " << stats.one_timers << "\n"
+            << "infinite cache size   " << stats.infinite_cache_size << "\n"
+            << "top-decile share      " << stats.top_decile_share << "\n"
+            << "estimated Zipf alpha  " << workload::estimate_zipf_alpha(stats) << "\n"
+            << "stack distance median " << locality.median << " (p90 " << locality.p90
+            << ")\n";
+  return 0;
+}
+
+int cmd_simulate(const Flags& flags) {
+  auto known = kWorkloadFlags;
+  known.insert(known.end(), kClusterFlags.begin(), kClusterFlags.end());
+  known.insert(known.end(), {"scheme", "trace", "squid"});
+  flags.reject_unknown(known);
+
+  const auto scheme = sim::scheme_from_string(flags.str("scheme", "Hier-GD"));
+  if (!scheme) usage("unknown scheme: " + flags.str("scheme", ""));
+
+  const auto trace = trace_from(flags);
+  auto cfg = cluster_from(flags, trace);
+  cfg.scheme = *scheme;
+  const auto run = core::run_single(trace, cfg);
+  std::cout << "scheme: " << sim::to_string(*scheme) << "\n"
+            << run.metrics.summary() << "latency gain vs NC: " << run.gain_percent
+            << "%\n";
+  return 0;
+}
+
+int cmd_sweep(const Flags& flags) {
+  auto known = kWorkloadFlags;
+  known.insert(known.end(), kClusterFlags.begin(), kClusterFlags.end());
+  known.insert(known.end(), {"schemes", "cache-pcts", "csv", "trace", "squid"});
+  flags.reject_unknown(known);
+
+  const auto trace = trace_from(flags);
+
+  core::SweepConfig sweep;
+  sweep.base = cluster_from(flags, trace);
+  sweep.client_cache_percent = flags.num("client-cache-pct", 0.1);
+
+  if (flags.has("schemes")) {
+    sweep.schemes.clear();
+    std::istringstream list(flags.str("schemes", ""));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      const auto s = sim::scheme_from_string(name);
+      if (!s) usage("unknown scheme in --schemes: " + name);
+      sweep.schemes.push_back(*s);
+    }
+    if (sweep.schemes.empty()) usage("--schemes list is empty");
+  }
+  if (flags.has("cache-pcts")) {
+    sweep.cache_percents.clear();
+    std::istringstream list(flags.str("cache-pcts", ""));
+    std::string token;
+    while (std::getline(list, token, ',')) {
+      try {
+        sweep.cache_percents.push_back(std::stod(token));
+      } catch (const std::exception&) {
+        usage("bad --cache-pcts entry: " + token);
+      }
+    }
+  }
+
+  const auto result = core::run_sweep(trace, sweep);
+  core::print_gain_table(std::cout, result, "webcache_cli sweep");
+  if (flags.has("csv")) {
+    std::ofstream csv(flags.str("csv", ""));
+    if (!csv) usage("cannot open --csv file for writing");
+    core::write_gain_csv(csv, result);
+    std::cout << "wrote CSV to " << flags.str("csv", "") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  try {
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "analyze") return cmd_analyze(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "sweep") return cmd_sweep(flags);
+    usage("unknown command: " + command);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
