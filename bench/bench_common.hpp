@@ -6,14 +6,23 @@
 // the *shape* (ordering, crossovers, trends) is what reproduces the paper —
 // EXPERIMENTS.md records the comparison.
 //
-// WEBCACHE_BENCH_SCALE (default 1.0) scales the request volume for quick
-// runs, e.g. WEBCACHE_BENCH_SCALE=0.1 ./fig2a_cache_size.
+// Environment knobs:
+//   WEBCACHE_BENCH_SCALE  (default 1.0) scales the request volume, e.g.
+//                         WEBCACHE_BENCH_SCALE=0.1 ./fig2a_cache_size.
+//                         Any positive value works; > 1 oversamples.
+//   WEBCACHE_THREADS      worker threads for run_sweep (default 0 = one per
+//                         core). Results are bitwise identical regardless.
+//   WEBCACHE_BENCH_JSON_DIR  directory for BENCH_<name>.json reports
+//                         (default: current directory).
 #pragma once
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "workload/prowgen.hpp"
@@ -22,11 +31,23 @@ namespace webcache::bench {
 
 inline double bench_scale() {
   if (const char* env = std::getenv("WEBCACHE_BENCH_SCALE")) {
-    const double s = std::atof(env);
-    if (s > 0.0 && s <= 1.0) return s;
+    char* end = nullptr;
+    const double s = std::strtod(env, &end);
+    if (end != env && *end == '\0' && s > 0.0) return s;
     std::cerr << "ignoring invalid WEBCACHE_BENCH_SCALE=" << env << "\n";
   }
   return 1.0;
+}
+
+/// Worker-thread count for run_sweep: WEBCACHE_THREADS, or 0 (one per core).
+inline unsigned bench_threads() {
+  if (const char* env = std::getenv("WEBCACHE_THREADS")) {
+    char* end = nullptr;
+    const unsigned long t = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<unsigned>(t);
+    std::cerr << "ignoring invalid WEBCACHE_THREADS=" << env << "\n";
+  }
+  return 0;
 }
 
 /// The paper's default synthetic workload (Section 5.1): one million
@@ -44,19 +65,73 @@ inline workload::ProWGenConfig paper_workload() {
   return cfg;
 }
 
-/// Timer helper: prints elapsed seconds after each bench section.
+/// Collects per-section wall clock and per-scheme throughput for one bench
+/// run and writes them as BENCH_<name>.json — the machine-readable side of
+/// the perf-regression harness (scripts/check_perf.py compares such a report
+/// against a committed baseline). Format:
+///   {"name": "...", "sections": {"label": seconds, ...},
+///    "requests_per_sec": {"scheme": rps, ...}}
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void add_section(const std::string& label, double seconds) {
+    sections_.emplace_back(label, seconds);
+  }
+  void add_throughput(const std::string& scheme, double requests_per_sec) {
+    throughput_.emplace_back(scheme, requests_per_sec);
+  }
+
+  /// Writes BENCH_<name>.json into WEBCACHE_BENCH_JSON_DIR (default: cwd).
+  /// Returns the path written, or an empty string on I/O failure.
+  std::string write_json() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("WEBCACHE_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return {};
+    }
+    out << "{\n  \"name\": \"" << name_ << "\",\n";
+    out << "  \"sections\": {";
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << sections_[i].first
+          << "\": " << sections_[i].second;
+    }
+    out << "},\n  \"requests_per_sec\": {";
+    for (std::size_t i = 0; i < throughput_.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << throughput_[i].first
+          << "\": " << throughput_[i].second;
+    }
+    out << "}\n}\n";
+    return out ? path : std::string{};
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> sections_;
+  std::vector<std::pair<std::string, double>> throughput_;
+};
+
+/// Timer helper: prints elapsed seconds after each bench section, and
+/// (when given a report) records the section into the BENCH_*.json output.
 class SectionTimer {
  public:
-  explicit SectionTimer(std::string label)
-      : label_(std::move(label)), start_(std::chrono::steady_clock::now()) {}
+  explicit SectionTimer(std::string label, BenchReport* report = nullptr)
+      : label_(std::move(label)),
+        report_(report),
+        start_(std::chrono::steady_clock::now()) {}
   ~SectionTimer() {
     const auto dt = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start_);
+    if (report_ != nullptr) report_->add_section(label_, dt.count());
     std::cout << "# [" << label_ << " took " << dt.count() << " s]\n\n";
   }
 
  private:
   std::string label_;
+  BenchReport* report_;
   std::chrono::steady_clock::time_point start_;
 };
 

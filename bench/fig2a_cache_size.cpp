@@ -12,6 +12,7 @@ int main() {
   const auto trace = workload::ProWGen(bench::paper_workload()).generate();
 
   core::SweepConfig cfg;  // defaults are exactly the paper's setup
+  cfg.threads = bench::bench_threads();
   const auto result = core::run_sweep(trace, cfg);
   core::print_gain_table(std::cout, result,
                          "Figure 2(a): latency gain (%) vs proxy cache size (% of "

@@ -20,6 +20,7 @@ int main() {
   const auto trace = workload::generate_ucb_like(ucb);
 
   core::SweepConfig cfg;
+  cfg.threads = bench::bench_threads();
   const auto result = core::run_sweep(trace, cfg);
   core::print_gain_table(std::cout, result,
                          "Figure 2(b): latency gain (%) vs proxy cache size (% of "

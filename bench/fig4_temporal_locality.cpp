@@ -23,6 +23,7 @@ int main() {
     wl.recency_bias = 0.5;
     const auto trace = workload::ProWGen(wl).generate();
     core::SweepConfig cfg;
+    cfg.threads = bench::bench_threads();
     cfg.schemes = {panels[0], panels[1], panels[2], panels[3]};
     results.push_back(core::run_sweep(trace, cfg));
   }

@@ -14,6 +14,7 @@ int main() {
   std::vector<core::SweepResult> results;
   for (const double ratio : ratios) {
     core::SweepConfig cfg;
+    cfg.threads = bench::bench_threads();
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.latencies = net::LatencyModel::from_ratios(/*ts_over_tc=*/10.0,
                                                         /*ts_over_tl=*/ratio);

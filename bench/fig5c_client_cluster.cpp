@@ -16,12 +16,14 @@ int main() {
 
   // Reference curves: SC and FC do not use client caches.
   core::SweepConfig ref_cfg;
+  ref_cfg.threads = bench::bench_threads();
   ref_cfg.schemes = {sim::Scheme::kSC, sim::Scheme::kFC};
   const auto ref = core::run_sweep(trace, ref_cfg);
 
   std::vector<core::SweepResult> results;
   for (const ClientNum clients : cluster_sizes) {
     core::SweepConfig cfg;
+    cfg.threads = bench::bench_threads();
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.clients_per_cluster = clients;
     results.push_back(core::run_sweep(trace, cfg));

@@ -15,6 +15,7 @@ int main() {
   std::vector<core::SweepResult> results;
   for (const unsigned proxies : cluster_sizes) {
     core::SweepConfig cfg;
+    cfg.threads = bench::bench_threads();
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.num_proxies = proxies;
     results.push_back(core::run_sweep(trace, cfg));

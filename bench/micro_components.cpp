@@ -129,12 +129,20 @@ void simulate_scheme(benchmark::State& state, sim::Scheme scheme) {
 
 void BM_SimulateNC(benchmark::State& state) { simulate_scheme(state, sim::Scheme::kNC); }
 BENCHMARK(BM_SimulateNC)->Unit(benchmark::kMillisecond);
+void BM_SimulateSC(benchmark::State& state) { simulate_scheme(state, sim::Scheme::kSC); }
+BENCHMARK(BM_SimulateSC)->Unit(benchmark::kMillisecond);
+void BM_SimulateSCEC(benchmark::State& state) { simulate_scheme(state, sim::Scheme::kSC_EC); }
+BENCHMARK(BM_SimulateSCEC)->Unit(benchmark::kMillisecond);
 void BM_SimulateFCEC(benchmark::State& state) { simulate_scheme(state, sim::Scheme::kFC_EC); }
 BENCHMARK(BM_SimulateFCEC)->Unit(benchmark::kMillisecond);
 void BM_SimulateHierGD(benchmark::State& state) {
   simulate_scheme(state, sim::Scheme::kHierGD);
 }
 BENCHMARK(BM_SimulateHierGD)->Unit(benchmark::kMillisecond);
+void BM_SimulateSquirrel(benchmark::State& state) {
+  simulate_scheme(state, sim::Scheme::kSquirrel);
+}
+BENCHMARK(BM_SimulateSquirrel)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,67 @@
+// Perf-regression smoke bench: simulated request throughput per scheme on a
+// small fixed workload, plus wall clock per section, written to
+// BENCH_perf_smoke.json. scripts/check_perf.py compares the report against
+// the committed baseline (bench/baselines/BENCH_perf_smoke.json) with a
+// tolerance band, so hot-path regressions fail CI instead of landing
+// silently.
+//
+// The workload is intentionally FIXED (50k requests; WEBCACHE_BENCH_SCALE is
+// ignored) so reports stay comparable across runs and machines.
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace webcache;
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  bench::BenchReport report("perf_smoke");
+
+  const auto t_gen = Clock::now();
+  workload::ProWGenConfig wl;
+  wl.total_requests = 50'000;
+  wl.distinct_objects = 10'000;
+  wl.one_timer_fraction = 0.5;
+  wl.zipf_alpha = 0.7;
+  wl.lru_stack_fraction = 0.2;
+  wl.clients = 100;
+  wl.seed = 2003;
+  const auto trace = workload::ProWGen(wl).generate();
+  report.add_section("generate_trace", seconds_since(t_gen));
+
+  const ObjectNum infinite = core::cluster_infinite_cache_size(trace, 2);
+
+  std::vector<sim::Scheme> schemes(sim::kAllSchemes.begin(), sim::kAllSchemes.end());
+  schemes.push_back(sim::Scheme::kSquirrel);
+
+  std::cout << std::left << std::setw(10) << "# scheme" << std::setw(14)
+            << "requests/s" << "\n";
+  const auto t_all = Clock::now();
+  for (const auto scheme : schemes) {
+    sim::SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.proxy_capacity = std::max<std::size_t>(1, infinite / 4);
+    cfg.client_cache_capacity = std::max<std::size_t>(1, infinite / 1000);
+    const auto t0 = Clock::now();
+    const auto metrics = sim::run_simulation(cfg, trace);
+    const double dt = seconds_since(t0);
+    (void)metrics;
+    const double rps = static_cast<double>(trace.size()) / dt;
+    report.add_throughput(std::string(sim::to_string(scheme)), rps);
+    std::cout << std::setw(10) << sim::to_string(scheme) << std::fixed
+              << std::setprecision(0) << rps << "\n";
+  }
+  report.add_section("simulate_all_schemes", seconds_since(t_all));
+
+  const auto path = report.write_json();
+  if (path.empty()) return 1;
+  std::cout << "# wrote " << path << "\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_<name>.json perf report against a committed baseline.
+
+The bench binaries (perf_smoke, and any bench using bench::BenchReport)
+emit machine-readable reports:
+
+    {"name": "...", "sections": {"label": seconds, ...},
+     "requests_per_sec": {"scheme": rps, ...}}
+
+This script fails (exit 1) when any scheme's measured throughput drops below
+``--min-ratio`` times the baseline throughput, or when a scheme present in
+the baseline is missing from the current report. Sections are printed for
+context but not gated: absolute wall clock varies too much across machines,
+while the *ratio* of requests/sec on the same machine is a stable regression
+signal. The default band (0.5) is deliberately generous so only real
+hot-path regressions trip it, not scheduler noise.
+
+Usage:
+    check_perf.py --baseline bench/baselines/BENCH_perf_smoke.json \
+                  --current build/BENCH_perf_smoke.json [--min-ratio 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed baseline report")
+    parser.add_argument("--current", required=True, help="freshly generated report")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.5,
+        help="current/baseline requests-per-sec must be >= this (default 0.5)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    base_rps = baseline.get("requests_per_sec", {})
+    cur_rps = current.get("requests_per_sec", {})
+    if not base_rps:
+        print(f"error: baseline {args.baseline} has no requests_per_sec", file=sys.stderr)
+        return 1
+
+    for label, secs in current.get("sections", {}).items():
+        base_secs = baseline.get("sections", {}).get(label)
+        ref = f" (baseline {base_secs:.3f} s)" if base_secs is not None else ""
+        print(f"section {label}: {secs:.3f} s{ref}")
+
+    failures = []
+    for scheme, base in sorted(base_rps.items()):
+        cur = cur_rps.get(scheme)
+        if cur is None:
+            failures.append(f"{scheme}: missing from current report")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(f"{scheme}: {cur:,.0f} req/s vs baseline {base:,.0f} "
+              f"(ratio {ratio:.2f}) {status}")
+        if ratio < args.min_ratio:
+            failures.append(
+                f"{scheme}: {cur:,.0f} req/s is below {args.min_ratio:.2f}x "
+                f"baseline ({base:,.0f} req/s)"
+            )
+
+    if failures:
+        print("\nperf check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,13 +122,11 @@ InsertResult CostBenefitCache::insert(ObjectNum object, double /*cost*/) {
 
   InsertResult result;
   if (entries_.size() >= capacity_) {
-    const auto victim_it = order_.begin();
-    const double victim_value = std::get<0>(*victim_it);
-    if (new_value <= victim_value) {
+    const auto [victim_key, victim] = order_.top();
+    if (new_value <= victim_key.first) {
       return result;  // newcomer not worth evicting anything for
     }
-    const ObjectNum victim = std::get<2>(*victim_it);
-    order_.erase(victim_it);
+    order_.pop();
     entries_.erase(victim);
     coordinator_.on_copy_removed(victim, this);
     result.evicted = victim;
@@ -137,7 +135,7 @@ InsertResult CostBenefitCache::insert(ObjectNum object, double /*cost*/) {
   result.inserted = true;
   const Entry e{new_value, ++seq_};
   entries_.emplace(object, e);
-  order_.insert(key_of(object, e));
+  order_.set(object, key_of(e));
   coordinator_.on_copy_added(object, this);
   return result;
 }
@@ -145,7 +143,7 @@ InsertResult CostBenefitCache::insert(ObjectNum object, double /*cost*/) {
 bool CostBenefitCache::erase(ObjectNum object) {
   const auto it = entries_.find(object);
   if (it == entries_.end()) return false;
-  order_.erase(key_of(object, it->second));
+  order_.erase(object);
   entries_.erase(it);
   coordinator_.on_copy_removed(object, this);
   return true;
@@ -153,7 +151,7 @@ bool CostBenefitCache::erase(ObjectNum object) {
 
 std::optional<ObjectNum> CostBenefitCache::peek_victim() const {
   if (order_.empty()) return std::nullopt;
-  return std::get<2>(*order_.begin());
+  return order_.top().second;
 }
 
 std::vector<ObjectNum> CostBenefitCache::contents() const {
@@ -171,9 +169,9 @@ double CostBenefitCache::value_of(ObjectNum object) const {
 void CostBenefitCache::reprice(ObjectNum object, double new_value) {
   const auto it = entries_.find(object);
   assert(it != entries_.end() && "CostBenefitCache::reprice: object not cached");
-  order_.erase(key_of(object, it->second));
+  if (it->second.value == new_value) return;  // no-op reprice, skip the heap push
   it->second.value = new_value;
-  order_.insert(key_of(object, it->second));
+  order_.set(object, key_of(it->second));
 }
 
 }  // namespace webcache::cache

@@ -28,12 +28,12 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
-#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "cache/eviction_heap.hpp"
 
 namespace webcache::cache {
 
@@ -121,15 +121,16 @@ class CostBenefitCache final : public Cache {
     double value;
     std::uint64_t seq;
   };
-  using Key = std::tuple<double, std::uint64_t, ObjectNum>;
+  // seq is unique per entry (repricing keeps it), so (value, seq) orders
+  // distinct objects totally — identical to the historical
+  // std::set<tuple<value, seq, object>> victim order.
+  using Key = std::pair<double, std::uint64_t>;
 
-  [[nodiscard]] Key key_of(ObjectNum object, const Entry& e) const {
-    return {e.value, e.seq, object};
-  }
+  [[nodiscard]] static Key key_of(const Entry& e) { return {e.value, e.seq}; }
 
   CostBenefitCoordinator& coordinator_;
   std::uint64_t seq_ = 0;
-  std::set<Key> order_;
+  EvictionHeap<Key> order_;
   std::unordered_map<ObjectNum, Entry> entries_;
 };
 

@@ -1,0 +1,117 @@
+// Lazy-deletion binary min-heap for cache eviction orderings.
+//
+// LfuCache, GreedyDualCache and CostBenefitCache used to keep their victim
+// order in a std::set<tuple> — a red-black tree that pays a node allocation
+// per insert and pointer-chasing erase+insert on *every hit*. This heap keeps
+// the nodes in one contiguous vector and never relocates on re-key: updating
+// an object's priority just pushes a fresh node and marks the old one stale
+// (it is skipped when it surfaces). Amortized cost per operation is O(log n)
+// sift over 16-byte PODs with no allocation beyond the vector's growth.
+//
+// Victim selection is bit-identical to the ordered-set implementation: every
+// priority embeds the policy's monotone re-key sequence number, so priorities
+// of distinct objects never compare equal and the minimum live node is exactly
+// the element std::set::begin() would have produced — including all
+// tie-breaks (e.g. the LFU-DA aging-floor recency tie).
+//
+// Staleness is detected by value: a node is live iff its priority equals the
+// object's current priority. Equal-by-value duplicates (possible when
+// CostBenefitCache reprices a copy back to a previous value without touching
+// its sequence number) are indistinguishable from the live node, so treating
+// either as live selects the same victim; the survivor becomes stale the
+// moment the object is popped, erased or re-keyed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace webcache::cache {
+
+/// `Priority` must be default-constructible, cheaply copyable and totally
+/// ordered by operator< across live entries (pairs/tuples of arithmetic
+/// types; no NaNs). Smaller priority = evicted first.
+template <typename Priority>
+class EvictionHeap {
+ public:
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+
+  /// Inserts `object` or re-keys it to `priority`.
+  void set(ObjectNum object, const Priority& priority) {
+    live_[object] = priority;
+    nodes_.push_back({priority, object});
+    std::push_heap(nodes_.begin(), nodes_.end(), after);
+    maybe_compact();
+  }
+
+  /// Removes `object` (lazily). Returns true if it was present.
+  bool erase(ObjectNum object) {
+    if (live_.erase(object) == 0) return false;
+    maybe_compact();
+    return true;
+  }
+
+  /// Minimum-priority live entry. Precondition: !empty().
+  [[nodiscard]] std::pair<Priority, ObjectNum> top() const {
+    purge();
+    return {nodes_.front().priority, nodes_.front().object};
+  }
+
+  /// Removes the minimum-priority live entry. Precondition: !empty().
+  void pop() {
+    purge();
+    live_.erase(nodes_.front().object);
+    std::pop_heap(nodes_.begin(), nodes_.end(), after);
+    nodes_.pop_back();
+  }
+
+  void clear() {
+    live_.clear();
+    nodes_.clear();
+  }
+
+ private:
+  struct Node {
+    Priority priority;
+    ObjectNum object;
+  };
+
+  /// Max-heap comparator that surfaces the *minimum* priority at front().
+  static bool after(const Node& a, const Node& b) { return b.priority < a.priority; }
+
+  [[nodiscard]] bool is_live(const Node& node) const {
+    const auto it = live_.find(node.object);
+    return it != live_.end() && !(it->second < node.priority) &&
+           !(node.priority < it->second);
+  }
+
+  /// Discards stale nodes until a live one (or nothing) is at front().
+  void purge() const {
+    while (!nodes_.empty() && !is_live(nodes_.front())) {
+      std::pop_heap(nodes_.begin(), nodes_.end(), after);
+      nodes_.pop_back();
+    }
+  }
+
+  /// Rebuilds the heap from the live map once stale nodes dominate, bounding
+  /// memory at O(live) between compactions.
+  void maybe_compact() {
+    if (nodes_.size() <= 2 * live_.size() + 16) return;
+    nodes_.clear();
+    nodes_.reserve(live_.size());
+    for (const auto& [object, priority] : live_) nodes_.push_back({priority, object});
+    std::make_heap(nodes_.begin(), nodes_.end(), after);
+  }
+
+  std::unordered_map<ObjectNum, Priority> live_;
+  // mutable: purging stale nodes from peek paths does not change the set of
+  // live entries, so top() stays logically const.
+  mutable std::vector<Node> nodes_;
+};
+
+}  // namespace webcache::cache

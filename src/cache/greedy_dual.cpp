@@ -7,10 +7,9 @@ namespace webcache::cache {
 void GreedyDualCache::access(ObjectNum object, double cost) {
   const auto it = entries_.find(object);
   assert(it != entries_.end() && "GreedyDualCache::access: object not cached");
-  order_.erase(key_of(object, it->second));
   it->second.inflated_credit = cost + inflation_;
   it->second.seq = ++seq_;
-  order_.insert(key_of(object, it->second));
+  order_.set(object, key_of(it->second));
 }
 
 InsertResult GreedyDualCache::insert(ObjectNum object, double cost) {
@@ -20,31 +19,30 @@ InsertResult GreedyDualCache::insert(ObjectNum object, double cost) {
   InsertResult result;
   result.inserted = true;
   if (entries_.size() >= capacity_) {
-    const auto victim_it = order_.begin();
-    const ObjectNum victim = std::get<2>(*victim_it);
+    const auto [victim_key, victim] = order_.top();
     // Deduct the minimum credit from everyone by raising the floor.
-    inflation_ = std::get<0>(*victim_it);
-    order_.erase(victim_it);
+    inflation_ = victim_key.first;
+    order_.pop();
     entries_.erase(victim);
     result.evicted = victim;
   }
   const Entry e{cost + inflation_, ++seq_};
   entries_.emplace(object, e);
-  order_.insert(key_of(object, e));
+  order_.set(object, key_of(e));
   return result;
 }
 
 bool GreedyDualCache::erase(ObjectNum object) {
   const auto it = entries_.find(object);
   if (it == entries_.end()) return false;
-  order_.erase(key_of(object, it->second));
+  order_.erase(object);
   entries_.erase(it);
   return true;
 }
 
 std::optional<ObjectNum> GreedyDualCache::peek_victim() const {
   if (order_.empty()) return std::nullopt;
-  return std::get<2>(*order_.begin());
+  return order_.top().second;
 }
 
 std::vector<ObjectNum> GreedyDualCache::contents() const {

@@ -13,15 +13,15 @@
 // decrementing every credit on each eviction (O(n)), a global inflation
 // value L accumulates the deducted minima, credits are stored as H + L at
 // the time they were set, and comparisons remain consistent — O(log n) per
-// operation via an ordered set.
+// operation via a lazy-deletion eviction heap.
 #pragma once
 
 #include <cstdint>
-#include <set>
-#include <tuple>
 #include <unordered_map>
+#include <utility>
 
 #include "cache/cache.hpp"
+#include "cache/eviction_heap.hpp"
 
 namespace webcache::cache {
 
@@ -57,15 +57,15 @@ class GreedyDualCache final : public Cache {
     double inflated_credit;  // cost + inflation at set time
     std::uint64_t seq;       // FIFO tie-break among equal credits
   };
-  using Key = std::tuple<double, std::uint64_t, ObjectNum>;
+  // seq is unique per entry, so (credit, seq) orders totally — identical to
+  // the historical std::set<tuple<credit, seq, object>> victim order.
+  using Key = std::pair<double, std::uint64_t>;
 
-  [[nodiscard]] Key key_of(ObjectNum object, const Entry& e) const {
-    return {e.inflated_credit, e.seq, object};
-  }
+  [[nodiscard]] static Key key_of(const Entry& e) { return {e.inflated_credit, e.seq}; }
 
   double inflation_ = 0.0;
   std::uint64_t seq_ = 0;
-  std::set<Key> order_;
+  EvictionHeap<Key> order_;
   std::unordered_map<ObjectNum, Entry> entries_;
 };
 

@@ -7,14 +7,13 @@ namespace webcache::cache {
 void LfuCache::access(ObjectNum object, double /*cost*/) {
   const auto it = entries_.find(object);
   assert(it != entries_.end() && "LfuCache::access: object not cached");
-  order_.erase(key_of(object, it->second));
   ++it->second.freq;
   // LFU-DA re-keys from the current floor on every hit, so a re-warming
   // object immediately out-keys everything the aging has devalued.
   it->second.key = mode_ == LfuMode::kDynamicAging ? it->second.freq + aging_floor_
                                                    : it->second.freq;
   it->second.last_seq = ++seq_;
-  order_.insert(key_of(object, it->second));
+  order_.set(object, key_of(it->second));
   if (mode_ == LfuMode::kPerfect) ++history_[object];
 }
 
@@ -30,15 +29,14 @@ InsertResult LfuCache::insert(ObjectNum object, double /*cost*/) {
   InsertResult result;
   result.inserted = true;
   if (entries_.size() >= capacity_) {
-    const auto victim_it = order_.begin();
-    const ObjectNum victim = std::get<2>(*victim_it);
+    const auto [victim_key, victim] = order_.top();
     if (mode_ == LfuMode::kDynamicAging) {
       // The victim's key becomes the new floor: everything still cached is
       // effectively aged by that amount (same inflation trick greedy-dual
       // uses, with cost = 1 per access).
-      aging_floor_ = std::get<0>(*victim_it);
+      aging_floor_ = victim_key.first;
     }
-    order_.erase(victim_it);
+    order_.pop();
     entries_.erase(victim);
     result.evicted = victim;
   }
@@ -46,21 +44,21 @@ InsertResult LfuCache::insert(ObjectNum object, double /*cost*/) {
                 mode_ == LfuMode::kDynamicAging ? start_freq + aging_floor_ : start_freq,
                 ++seq_};
   entries_.emplace(object, e);
-  order_.insert(key_of(object, e));
+  order_.set(object, key_of(e));
   return result;
 }
 
 bool LfuCache::erase(ObjectNum object) {
   const auto it = entries_.find(object);
   if (it == entries_.end()) return false;
-  order_.erase(key_of(object, it->second));
+  order_.erase(object);
   entries_.erase(it);
   return true;
 }
 
 std::optional<ObjectNum> LfuCache::peek_victim() const {
   if (order_.empty()) return std::nullopt;
-  return std::get<2>(*order_.begin());
+  return order_.top().second;
 }
 
 std::vector<ObjectNum> LfuCache::contents() const {

@@ -18,11 +18,11 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
-#include <tuple>
 #include <unordered_map>
+#include <utility>
 
 #include "cache/cache.hpp"
+#include "cache/eviction_heap.hpp"
 
 namespace webcache::cache {
 
@@ -63,18 +63,17 @@ class LfuCache final : public Cache {
     std::uint64_t key;   ///< eviction key: freq (+ aging floor in kDynamicAging)
     std::uint64_t last_seq;
   };
-  // Ordered by (key, recency): begin() is the eviction victim, with the
-  // least recent access breaking key ties.
-  using Key = std::tuple<std::uint64_t, std::uint64_t, ObjectNum>;
+  // Ordered by (key, recency): the heap minimum is the eviction victim, with
+  // the least recent access breaking key ties. last_seq is unique per entry,
+  // so the order is total and matches the historical std::set<tuple> order.
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
 
-  [[nodiscard]] Key key_of(ObjectNum object, const Entry& e) const {
-    return {e.key, e.last_seq, object};
-  }
+  [[nodiscard]] static Key key_of(const Entry& e) { return {e.key, e.last_seq}; }
 
   LfuMode mode_;
   std::uint64_t seq_ = 0;
   std::uint64_t aging_floor_ = 0;
-  std::set<Key> order_;
+  EvictionHeap<Key> order_;
   std::unordered_map<ObjectNum, Entry> entries_;
   // Persistent counts for kPerfect mode (also counts accesses to objects
   // made while cached, so the count is the true observed frequency).

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -80,13 +81,17 @@ struct Uint128 {
   }
 
   /// Length of the shared digit prefix with `other` in base 2^bits_per_digit.
+  /// Digits are aligned b-bit blocks, so the first differing digit index is
+  /// the number of leading shared *bits* divided by b — one countl_zero
+  /// instead of a digit-by-digit loop (this runs once per Pastry prefix hop).
   [[nodiscard]] constexpr unsigned shared_prefix_length(const Uint128& other,
                                                         unsigned bits_per_digit) const {
-    const unsigned num_digits = 128 / bits_per_digit;
-    for (unsigned i = 0; i < num_digits; ++i) {
-      if (digit(i, bits_per_digit) != other.digit(i, bits_per_digit)) return i;
-    }
-    return num_digits;
+    const Uint128 x = *this ^ other;
+    if (x.hi == 0 && x.lo == 0) return 128 / bits_per_digit;
+    const unsigned leading_bits =
+        x.hi != 0 ? static_cast<unsigned>(std::countl_zero(x.hi))
+                  : 64 + static_cast<unsigned>(std::countl_zero(x.lo));
+    return leading_bits / bits_per_digit;
   }
 
   /// Distance on the 2^128 identifier ring (minimum of the two arc lengths).

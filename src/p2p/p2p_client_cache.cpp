@@ -134,26 +134,30 @@ StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_
   }
 
   // (7)-(10): object diversion — find a leaf-set member with free space.
+  // visit_members iterates the leaf set in place; the first successful
+  // transfer stops the scan.
   if (config_.enable_diversion) {
-    for (const auto& leaf_id : overlay_.leaf_set(root.id).members()) {
-      const auto leaf_it = node_index_.find(leaf_id);
-      if (leaf_it == node_index_.end()) continue;
-      ClientNode& peer = nodes_[leaf_it->second];
-      if (!peer.alive || !overlay_.contains(peer.id) || peer.cache->full()) continue;
-      const auto ins = peer.cache->insert(object, cost);
-      if (!ins.inserted) continue;
-      assert(!ins.evicted.has_value());
-      peer.diverted_in.emplace(object, root.id);
-      root.diverted_out.emplace(object, peer.id);
-      location_[object] = leaf_it->second;
-      outcome.stored = true;
-      outcome.diverted = true;
-      outcome.hops += 1;  // root -> peer transfer
-      ++messages_.diversions;
-      ++messages_.pastry_forward_messages;
-      ++messages_.store_receipts;
-      return outcome;
-    }
+    const bool diverted =
+        overlay_.leaf_set(root.id).visit_members([&](const pastry::NodeId& leaf_id) {
+          const auto leaf_it = node_index_.find(leaf_id);
+          if (leaf_it == node_index_.end()) return false;
+          ClientNode& peer = nodes_[leaf_it->second];
+          if (!peer.alive || !overlay_.contains(peer.id) || peer.cache->full()) return false;
+          const auto ins = peer.cache->insert(object, cost);
+          if (!ins.inserted) return false;
+          assert(!ins.evicted.has_value());
+          peer.diverted_in.emplace(object, root.id);
+          root.diverted_out.emplace(object, peer.id);
+          location_[object] = leaf_it->second;
+          outcome.stored = true;
+          outcome.diverted = true;
+          outcome.hops += 1;  // root -> peer transfer
+          ++messages_.diversions;
+          ++messages_.pastry_forward_messages;
+          ++messages_.store_receipts;
+          return true;
+        });
+    if (diverted) return outcome;
   }
 
   // (12)-(14): whole neighborhood full — local greedy-dual replacement.

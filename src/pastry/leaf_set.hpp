@@ -7,6 +7,7 @@
 // following PAST).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "pastry/node_id.hpp"
@@ -41,6 +42,24 @@ class LeafSet {
 
   /// All members, owner excluded. Clockwise side first.
   [[nodiscard]] std::vector<NodeId> members() const;
+
+  /// Visits every member exactly once, in members() order (clockwise side
+  /// first, counter-clockwise members not already seen after), without
+  /// materializing a vector — members() copies dominate the routing hot
+  /// path. The visitor returns true to stop early; visit_members returns
+  /// true iff a visitor stopped it. Must not mutate the leaf set mid-visit.
+  template <typename Visitor>
+  bool visit_members(Visitor&& visit) const {
+    for (const auto& n : clockwise_) {
+      if (visit(n)) return true;
+    }
+    for (const auto& n : counter_) {
+      // In small networks a node legitimately sits in both half-sets.
+      if (std::find(clockwise_.begin(), clockwise_.end(), n) != clockwise_.end()) continue;
+      if (visit(n)) return true;
+    }
+    return false;
+  }
 
   [[nodiscard]] std::size_t size() const { return clockwise_.size() + counter_.size(); }
   [[nodiscard]] const std::vector<NodeId>& clockwise() const { return clockwise_; }

@@ -1,5 +1,6 @@
 #include "pastry/overlay.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -28,18 +29,18 @@ Overlay::Overlay(OverlayConfig config) : config_(config) {
 }
 
 Overlay::NodeState& Overlay::state_of(const NodeId& id) {
-  const auto it = ring_.find(id);
-  if (it == ring_.end()) throw std::out_of_range("Overlay: unknown or dead node");
-  return it->second;
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("Overlay: unknown or dead node");
+  return *it->second;
 }
 
 const Overlay::NodeState& Overlay::state_of(const NodeId& id) const {
-  const auto it = ring_.find(id);
-  if (it == ring_.end()) throw std::out_of_range("Overlay: unknown or dead node");
-  return it->second;
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("Overlay: unknown or dead node");
+  return *it->second;
 }
 
-bool Overlay::contains(const NodeId& id) const { return ring_.contains(id); }
+bool Overlay::contains(const NodeId& id) const { return alive(id); }
 
 std::vector<NodeId> Overlay::nodes() const {
   std::vector<NodeId> out;
@@ -62,11 +63,11 @@ std::optional<NodeId> Overlay::first_alive_in(const Uint128& lo, const Uint128& 
 }
 
 NodeId Overlay::root_of(const Uint128& key) const {
-  if (ring_.empty()) throw std::logic_error("Overlay::root_of: empty overlay");
-  auto it = ring_.lower_bound(key);
+  if (sorted_ids_.empty()) throw std::logic_error("Overlay::root_of: empty overlay");
+  const auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), key);
   // Candidates: successor (with wrap) and predecessor (with wrap).
-  const NodeId succ = (it == ring_.end()) ? ring_.begin()->first : it->first;
-  const NodeId pred = (it == ring_.begin()) ? ring_.rbegin()->first : std::prev(it)->first;
+  const NodeId succ = (it == sorted_ids_.end()) ? sorted_ids_.front() : *it;
+  const NodeId pred = (it == sorted_ids_.begin()) ? sorted_ids_.back() : *std::prev(it);
   return closer_to(key, pred, succ) ? pred : succ;
 }
 
@@ -147,6 +148,8 @@ void Overlay::add_node(const NodeId& id, const Coordinates& where) {
   if (ring_.contains(id)) throw std::invalid_argument("Overlay: duplicate node id");
   auto [it, _] = ring_.emplace(id, NodeState(id, config_, where));
   NodeState& self = it->second;
+  index_.emplace(id, &self);
+  sorted_ids_.insert(std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id), id);
 
   // Newcomer state: the join protocol copies routing rows from the nodes on
   // the join path and the leaf set from the root; the converged result is
@@ -204,6 +207,8 @@ void Overlay::add_node(const NodeId& id, const Coordinates& where) {
 void Overlay::remove_node(const NodeId& id) {
   if (!ring_.contains(id)) throw std::invalid_argument("Overlay: unknown node id");
   ring_.erase(id);
+  index_.erase(id);
+  sorted_ids_.erase(std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id));
   // Graceful leave: departure is announced, peers repair immediately.
   for (auto& [other_id, other] : ring_) {
     if (other.leaves.erase(id)) rebuild_leaf_set(other);
@@ -221,6 +226,9 @@ void Overlay::fail_node(const NodeId& id) {
   // Crash: the node vanishes from the live set but peers keep stale
   // references until they detect the failure.
   ring_.erase(id);
+  index_.erase(id);
+  sorted_ids_.erase(std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id));
+  stale_possible_ = true;
 }
 
 void Overlay::repair_all() {
@@ -248,6 +256,9 @@ void Overlay::repair_all() {
       }
     }
   }
+  // Every live node has now been purged of dead references, so routing can
+  // drop back to the stale-free fast path.
+  stale_possible_ = false;
 }
 
 void Overlay::on_dead_reference(NodeState& holder, const NodeId& dead) {
@@ -263,46 +274,59 @@ void Overlay::on_dead_reference(NodeState& holder, const NodeId& dead) {
 }
 
 RouteResult Overlay::route(const NodeId& from, const Uint128& key) {
-  if (!ring_.contains(from)) throw std::invalid_argument("Overlay::route: dead origin");
+  const auto origin = index_.find(from);
+  if (origin == index_.end()) throw std::invalid_argument("Overlay::route: dead origin");
 
   NodeId current = from;
+  NodeState* node = origin->second;  // carried across hops; map nodes are stable
   unsigned hops = 0;
   double travelled = 0.0;
   const auto forward = [&](const NodeId& next) {
-    travelled += proximity(state_of(current).coords, state_of(next).coords);
+    NodeState& next_state = state_of(next);
+    travelled += proximity(node->coords, next_state.coords);
     current = next;
+    node = &next_state;
     ++hops;
   };
   constexpr unsigned kMaxHops = 256;  // loop guard; never hit in practice
 
   while (hops < kMaxHops) {
-    NodeState& node = state_of(current);
-
     // (1) Leaf-set delivery: key within the leaf span ends routing at the
     // numerically closest live member.
-    if (node.leaves.covers(key)) {
+    if (node->leaves.covers(key)) {
+      if (!stale_possible_) {
+        // No crash since the last repair pass, so leaf sets are exactly the
+        // nearest-per-side live nodes: every node in the covered arc is a
+        // member, which makes the closest member *the global root* — found
+        // by binary search instead of a member-by-member distance scan. The
+        // root's own leaf set covers the key too, so routing ends there.
+        const NodeId root = root_of(key);
+        if (root != current) forward(root);
+        break;
+      }
       // Scan for the closest live member; collect stale references.
       NodeId best = current;
       std::vector<NodeId> dead;
-      for (const auto& member : node.leaves.members()) {
-        if (!ring_.contains(member)) {
+      node->leaves.visit_members([&](const NodeId& member) {
+        if (!alive(member)) {
           dead.push_back(member);
-          continue;
+        } else if (closer_to(key, member, best)) {
+          best = member;
         }
-        if (closer_to(key, member, best)) best = member;
-      }
-      for (const auto& d : dead) on_dead_reference(node, d);
+        return false;
+      });
+      for (const auto& d : dead) on_dead_reference(*node, d);
       if (best == current) break;  // delivered locally
       forward(best);
       continue;
     }
 
     // (2) Prefix routing: forward to the table entry matching one more digit.
-    auto next = node.table.next_hop(key);
-    if (next && !ring_.contains(*next)) {
-      on_dead_reference(node, *next);
-      next = node.table.next_hop(key);  // may have been refilled
-      if (next && !ring_.contains(*next)) next.reset();
+    auto next = node->table.next_hop(key);
+    if (stale_possible_ && next && !alive(*next)) {
+      on_dead_reference(*node, *next);
+      next = node->table.next_hop(key);  // may have been refilled
+      if (next && !alive(*next)) next.reset();
     }
     if (next) {
       forward(*next);
@@ -312,22 +336,30 @@ RouteResult Overlay::route(const NodeId& from, const Uint128& key) {
     // (3) Rare case: no matching entry. Forward to any known live node
     // strictly closer to the key than the current node.
     NodeId best = current;
-    std::vector<NodeId> dead;
-    for (const auto& member : node.leaves.members()) {
-      if (!ring_.contains(member)) {
-        dead.push_back(member);
-        continue;
+    if (!stale_possible_) {
+      best = node->leaves.closest_to(key);
+      for (const auto& entry : node->table.populated()) {
+        if (closer_to(key, entry, best)) best = entry;
       }
-      if (closer_to(key, member, best)) best = member;
-    }
-    for (const auto& entry : node.table.populated()) {
-      if (!ring_.contains(entry)) {
-        dead.push_back(entry);
-        continue;
+    } else {
+      std::vector<NodeId> dead;
+      node->leaves.visit_members([&](const NodeId& member) {
+        if (!alive(member)) {
+          dead.push_back(member);
+        } else if (closer_to(key, member, best)) {
+          best = member;
+        }
+        return false;
+      });
+      for (const auto& entry : node->table.populated()) {
+        if (!alive(entry)) {
+          dead.push_back(entry);
+          continue;
+        }
+        if (closer_to(key, entry, best)) best = entry;
       }
-      if (closer_to(key, entry, best)) best = entry;
+      for (const auto& d : dead) on_dead_reference(*node, d);
     }
-    for (const auto& d : dead) on_dead_reference(node, d);
     if (best == current) break;  // best effort delivery at a local optimum
     forward(best);
     ++stats_.fallback_hops;

@@ -144,6 +144,13 @@ class Overlay {
   NodeState& state_of(const NodeId& id);
   [[nodiscard]] const NodeState& state_of(const NodeId& id) const;
 
+  /// True iff `id` is a live node. O(1) via the hash index; routing calls
+  /// this once per leaf-set member per hop, which made the tree-based
+  /// ring_.contains() the single hottest operation of the Hier-GD scheme.
+  [[nodiscard]] bool alive(const NodeId& id) const {
+    return index_.find(id) != index_.end();
+  }
+
   /// Smallest live node id within [lo, hi], if any.
   [[nodiscard]] std::optional<NodeId> first_alive_in(const Uint128& lo, const Uint128& hi) const;
 
@@ -158,6 +165,20 @@ class Overlay {
 
   OverlayConfig config_;
   std::map<NodeId, NodeState> ring_;  // live nodes, sorted by id
+  /// Hash index over ring_ for O(1) liveness checks and state lookups on the
+  /// routing hot path; the ordered map remains the source of truth for every
+  /// ring walk (leaf-set/table rebuilds). std::map nodes are pointer-stable,
+  /// so the cached NodeState* survive unrelated joins.
+  std::unordered_map<NodeId, NodeState*, Uint128Hash> index_;
+  /// Live ids in ascending order, mirroring ring_'s keys: root_of runs once
+  /// per routed message, and binary search over contiguous ids beats walking
+  /// the red-black tree.
+  std::vector<NodeId> sorted_ids_;
+  /// False while no crash has occurred since the last full repair pass. In
+  /// that state no node can hold a stale reference (joins and graceful
+  /// departures keep all state fresh), so route() skips every per-member
+  /// liveness probe — the dominant cost of a hop.
+  bool stale_possible_ = false;
   OverlayStats stats_;
 };
 

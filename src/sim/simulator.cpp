@@ -1,9 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
-
-#include "workload/trace_stats.hpp"
 
 namespace webcache::sim {
 
@@ -21,12 +20,32 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
   const std::size_t p2p_capacity =
       static_cast<std::size_t>(config_.clients_per_cluster) * config_.client_cache_capacity;
 
-  // Perfect frequency knowledge for the cost-benefit schemes.
+  // Perfect frequency knowledge for the cost-benefit schemes. A sweep shares
+  // one precomputed analysis across all its jobs; a lone simulator scans the
+  // trace itself.
   if (config_.scheme == Scheme::kFC || config_.scheme == Scheme::kFC_EC) {
-    const auto stats = workload::analyze(trace_);
+    std::shared_ptr<const workload::TraceStats> stats = config_.trace_stats;
+    if (stats && stats->total_requests != trace_.size()) {
+      throw std::invalid_argument(
+          "Simulator: config.trace_stats was computed from a different trace");
+    }
+    if (!stats) {
+      stats = std::make_shared<const workload::TraceStats>(workload::analyze(trace_));
+    }
     coordinator_ = std::make_unique<cache::CostBenefitCoordinator>(
-        workload::per_proxy_frequency(stats, config_.num_proxies), config_.num_proxies,
+        workload::per_proxy_frequency(*stats, config_.num_proxies), config_.num_proxies,
         config_.latencies.server(), config_.latencies.proxy_to_proxy());
+  }
+
+  // The residency index accelerates the cooperative remote-lookup scans; one
+  // bit per proxy caps the fast path at 64 proxies (beyond that the
+  // historical per-proxy probe loops take over).
+  residency_enabled_ = proxies_cooperate(config_.scheme) && config_.num_proxies <= 64;
+  if (residency_enabled_) {
+    res_primary_.assign(trace_.distinct_objects, 0);
+    if (config_.scheme == Scheme::kSC_EC || config_.scheme == Scheme::kFC_EC) {
+      res_secondary_.assign(trace_.distinct_objects, 0);
+    }
   }
 
   if (config_.scheme == Scheme::kHierGD || config_.scheme == Scheme::kSquirrel) {
@@ -70,6 +89,25 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
         proxy.tiered = std::make_unique<TieredCache>(
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode),
             std::make_unique<cache::LfuCache>(p2p_capacity, config_.lfu_mode));
+        if (residency_enabled_) {
+          proxy.tiered->set_transition_hook(
+              [this, p](ObjectNum object, TieredCache::Where now) {
+                switch (now) {
+                  case TieredCache::Where::kTier1:
+                    residency_set(res_primary_, object, p);
+                    residency_clear(res_secondary_, object, p);
+                    break;
+                  case TieredCache::Where::kTier2:
+                    residency_set(res_secondary_, object, p);
+                    residency_clear(res_primary_, object, p);
+                    break;
+                  case TieredCache::Where::kMiss:
+                    residency_clear(res_primary_, object, p);
+                    residency_clear(res_secondary_, object, p);
+                    break;
+                }
+              });
+        }
         break;
       case Scheme::kFC_EC:
         proxy.unified = std::make_unique<cache::CostBenefitCache>(
@@ -123,6 +161,17 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
 }
 
 Simulator::~Simulator() = default;
+
+int Simulator::first_remote_holder(std::uint64_t mask, unsigned local) const {
+  mask &= ~(std::uint64_t{1} << local);  // ring scan excludes the local proxy
+  if (mask == 0) return -1;
+  // Ring order from local+1 upward, wrapping past the top proxy to 0.
+  const std::uint64_t later = local + 1 >= 64 ? 0 : mask >> (local + 1);
+  if (later != 0) {
+    return static_cast<int>(local + 1 + static_cast<unsigned>(std::countr_zero(later)));
+  }
+  return std::countr_zero(mask);
+}
 
 const p2p::P2PClientCache* Simulator::p2p_of(unsigned proxy) const {
   return proxy < proxies_.size() ? proxies_[proxy].p2p.get() : nullptr;
@@ -256,18 +305,33 @@ void Simulator::step_basic(const Request& request, unsigned proxy_index) {
 
   ServedFrom served = ServedFrom::kOriginServer;
   if (proxies_cooperate(config_.scheme)) {
-    for (unsigned q = 1; q < config_.num_proxies; ++q) {
-      Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
-      if (remote.cache->contains(object)) {
-        remote.cache->access(object, config_.latencies.fetch_cost(ServedFrom::kOriginServer));
+    if (residency_enabled_) {
+      const int holder = first_remote_holder(residency_mask(res_primary_, object),
+                                             proxy_index);
+      if (holder >= 0) {
+        proxies_[static_cast<unsigned>(holder)].cache->access(
+            object, config_.latencies.fetch_cost(ServedFrom::kOriginServer));
         served = ServedFrom::kRemoteProxy;
-        break;
+      }
+    } else {
+      for (unsigned q = 1; q < config_.num_proxies; ++q) {
+        Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+        if (remote.cache->contains(object)) {
+          remote.cache->access(object,
+                               config_.latencies.fetch_cost(ServedFrom::kOriginServer));
+          served = ServedFrom::kRemoteProxy;
+          break;
+        }
       }
     }
   }
 
   // SC always copies what it fetched; FC's cost-benefit policy may decline.
-  local.cache->insert(object, config_.latencies.fetch_cost(served));
+  const auto ins = local.cache->insert(object, config_.latencies.fetch_cost(served));
+  if (residency_enabled_ && ins.inserted) {
+    residency_set(res_primary_, object, proxy_index);
+    if (ins.evicted) residency_clear(res_primary_, *ins.evicted, proxy_index);
+  }
   account(served, 0.0);
 }
 
@@ -291,18 +355,31 @@ void Simulator::step_tiered_ec(const Request& request, unsigned proxy_index) {
   if (config_.scheme == Scheme::kSC_EC) {
     // Prefer a remote proxy hit (Tc) over a remote P2P hit (Tc + Tp2p).
     Proxy* tier2_holder = nullptr;
-    for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer; ++q) {
-      Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
-      switch (remote.tiered->locate(object)) {
-        case TieredCache::Where::kTier1:
-          remote.tiered->refresh(object, refetch);
-          served = ServedFrom::kRemoteProxy;
-          break;
-        case TieredCache::Where::kTier2:
-          if (tier2_holder == nullptr) tier2_holder = &remote;
-          break;
-        case TieredCache::Where::kMiss:
-          break;
+    if (residency_enabled_) {
+      const int t1 = first_remote_holder(residency_mask(res_primary_, object), proxy_index);
+      if (t1 >= 0) {
+        proxies_[static_cast<unsigned>(t1)].tiered->refresh(object, refetch);
+        served = ServedFrom::kRemoteProxy;
+      } else {
+        const int t2 =
+            first_remote_holder(residency_mask(res_secondary_, object), proxy_index);
+        if (t2 >= 0) tier2_holder = &proxies_[static_cast<unsigned>(t2)];
+      }
+    } else {
+      for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer;
+           ++q) {
+        Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+        switch (remote.tiered->locate(object)) {
+          case TieredCache::Where::kTier1:
+            remote.tiered->refresh(object, refetch);
+            served = ServedFrom::kRemoteProxy;
+            break;
+          case TieredCache::Where::kTier2:
+            if (tier2_holder == nullptr) tier2_holder = &remote;
+            break;
+          case TieredCache::Where::kMiss:
+            break;
+        }
       }
     }
     if (served == ServedFrom::kOriginServer && tier2_holder != nullptr) {
@@ -321,11 +398,18 @@ void Simulator::step_tiered_ec(const Request& request, unsigned proxy_index) {
 
 // --- FC-EC ---------------------------------------------------------------------
 
-void Simulator::track_tier1(Proxy& proxy, ObjectNum object) {
+void Simulator::track_tier1(unsigned proxy_index, ObjectNum object) {
+  Proxy& proxy = proxies_[proxy_index];
   if (proxy.tier_tracker->contains(object)) {
     proxy.tier_tracker->access(object, 0.0);
   } else {
-    proxy.tier_tracker->insert(object, 0.0);
+    const auto ins = proxy.tier_tracker->insert(object, 0.0);
+    if (residency_enabled_ && ins.inserted) {
+      residency_set(res_primary_, object, proxy_index);
+      // The tracker's LRU evictee demotes to tier-2 residence (it is still
+      // in the unified cache, i.e. still in res_secondary_).
+      if (ins.evicted) residency_clear(res_primary_, *ins.evicted, proxy_index);
+    }
   }
 }
 
@@ -339,21 +423,37 @@ void Simulator::step_fc_ec(const Request& request, unsigned proxy_index) {
   if (local.unified->contains(object)) {
     const bool tier1 = local.tier_tracker->contains(object);
     local.unified->access(object, 0.0);
-    track_tier1(local, object);  // tier-2 hits promote into proxy residence
+    track_tier1(proxy_index, object);  // tier-2 hits promote into proxy residence
     account(tier1 ? ServedFrom::kLocalProxy : ServedFrom::kLocalP2P, 0.0);
     return;
   }
 
   ServedFrom served = ServedFrom::kOriginServer;
   Proxy* tier2_holder = nullptr;
-  for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer; ++q) {
-    Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
-    if (!remote.unified->contains(object)) continue;
-    if (remote.tier_tracker->contains(object)) {
-      remote.unified->access(object, 0.0);
+  if (residency_enabled_) {
+    // Tracker membership is a subset of unified membership, so res_primary_
+    // alone identifies remote tier-1 holders.
+    const int t1 = first_remote_holder(residency_mask(res_primary_, object), proxy_index);
+    if (t1 >= 0) {
+      proxies_[static_cast<unsigned>(t1)].unified->access(object, 0.0);
       served = ServedFrom::kRemoteProxy;
-    } else if (tier2_holder == nullptr) {
-      tier2_holder = &remote;
+    } else {
+      const int t2 = first_remote_holder(
+          residency_mask(res_secondary_, object) & ~residency_mask(res_primary_, object),
+          proxy_index);
+      if (t2 >= 0) tier2_holder = &proxies_[static_cast<unsigned>(t2)];
+    }
+  } else {
+    for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer;
+         ++q) {
+      Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+      if (!remote.unified->contains(object)) continue;
+      if (remote.tier_tracker->contains(object)) {
+        remote.unified->access(object, 0.0);
+        served = ServedFrom::kRemoteProxy;
+      } else if (tier2_holder == nullptr) {
+        tier2_holder = &remote;
+      }
     }
   }
   if (served == ServedFrom::kOriginServer && tier2_holder != nullptr) {
@@ -365,8 +465,15 @@ void Simulator::step_fc_ec(const Request& request, unsigned proxy_index) {
 
   const auto ins = local.unified->insert(object, config_.latencies.fetch_cost(served));
   if (ins.inserted) {
-    track_tier1(local, object);
-    if (ins.evicted) local.tier_tracker->erase(*ins.evicted);
+    if (residency_enabled_) {
+      residency_set(res_secondary_, object, proxy_index);
+      if (ins.evicted) residency_clear(res_secondary_, *ins.evicted, proxy_index);
+    }
+    track_tier1(proxy_index, object);
+    if (ins.evicted) {
+      local.tier_tracker->erase(*ins.evicted);
+      if (residency_enabled_) residency_clear(res_primary_, *ins.evicted, proxy_index);
+    }
   }
   account(served, 0.0);
 }
@@ -395,10 +502,15 @@ void Simulator::destage_hier_gd(Proxy& proxy, ObjectNum victim, ClientNum via_cl
   }
 }
 
-void Simulator::admit_hier_gd(Proxy& proxy, ObjectNum object, double cost,
+void Simulator::admit_hier_gd(unsigned proxy_index, ObjectNum object, double cost,
                               ClientNum via_client) {
+  Proxy& proxy = proxies_[proxy_index];
   proxy.fetch_cost[object] = cost;
   const auto ins = proxy.gd->insert(object, cost);
+  if (residency_enabled_ && ins.inserted) {
+    residency_set(res_primary_, object, proxy_index);
+    if (ins.evicted) residency_clear(res_primary_, *ins.evicted, proxy_index);
+  }
   if (ins.inserted && ins.evicted) {
     destage_hier_gd(proxy, *ins.evicted, via_client);
   }
@@ -432,8 +544,8 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
       local.dir->remove(object);
       ++metrics_.messages.directory_removes;
       // Promote into the proxy; the proxy's eviction destages back down.
-      admit_hier_gd(local, object, config_.latencies.fetch_cost(ServedFrom::kLocalP2P),
-                    client);
+      admit_hier_gd(proxy_index, object,
+                    config_.latencies.fetch_cost(ServedFrom::kLocalP2P), client);
       account(ServedFrom::kLocalP2P, 0.0, hop_latency);
       return;
     }
@@ -452,17 +564,45 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
   ServedFrom served = ServedFrom::kOriginServer;
   Proxy* push_holder = nullptr;
   ClientNum push_client = 0;
-  for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer; ++q) {
-    Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
-    if (remote.gd->contains(object)) {
+  if (residency_enabled_) {
+    const int holder = first_remote_holder(residency_mask(res_primary_, object),
+                                           proxy_index);
+    if (holder >= 0) {
+      Proxy& remote = proxies_[static_cast<unsigned>(holder)];
       const auto cost_it = remote.fetch_cost.find(object);
-      remote.gd->access(object, cost_it != remote.fetch_cost.end()
-                                    ? cost_it->second
-                                    : config_.latencies.fetch_cost(ServedFrom::kOriginServer));
+      remote.gd->access(object,
+                        cost_it != remote.fetch_cost.end()
+                            ? cost_it->second
+                            : config_.latencies.fetch_cost(ServedFrom::kOriginServer));
       served = ServedFrom::kRemoteProxy;
-    } else if (push_holder == nullptr && remote.dir->may_contain(object)) {
-      push_holder = &remote;
-      push_client = client_of(request, remote);
+    } else {
+      // No remote proxy holds it: the push candidate is the first cluster in
+      // ring order whose directory answers positively (exactly what the
+      // historical full scan selected when every gd probe missed).
+      for (unsigned q = 1; q < config_.num_proxies; ++q) {
+        Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+        if (remote.dir->may_contain(object)) {
+          push_holder = &remote;
+          push_client = client_of(request, remote);
+          break;
+        }
+      }
+    }
+  } else {
+    for (unsigned q = 1; q < config_.num_proxies && served == ServedFrom::kOriginServer;
+         ++q) {
+      Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
+      if (remote.gd->contains(object)) {
+        const auto cost_it = remote.fetch_cost.find(object);
+        remote.gd->access(object,
+                          cost_it != remote.fetch_cost.end()
+                              ? cost_it->second
+                              : config_.latencies.fetch_cost(ServedFrom::kOriginServer));
+        served = ServedFrom::kRemoteProxy;
+      } else if (push_holder == nullptr && remote.dir->may_contain(object)) {
+        push_holder = &remote;
+        push_client = client_of(request, remote);
+      }
     }
   }
 
@@ -482,7 +622,7 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
     }
   }
 
-  admit_hier_gd(local, object, config_.latencies.fetch_cost(served), client);
+  admit_hier_gd(proxy_index, object, config_.latencies.fetch_cost(served), client);
   account(served, waste, hop_latency);
 }
 

@@ -22,6 +22,7 @@
 //                 and the push protocol for remote access.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "sim/scheme.hpp"
 #include "sim/tiered_cache.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_stats.hpp"
 
 namespace webcache::sim {
 
@@ -97,6 +99,12 @@ struct SimConfig {
   std::vector<ClientFailure> client_failures{};
   pastry::OverlayConfig overlay{};
   std::uint64_t seed = 7;
+  /// Optional precomputed statistics of the trace this config will run on
+  /// (FC/FC-EC derive their perfect-frequency table from them). run_sweep
+  /// shares one analysis across all its jobs instead of re-scanning the
+  /// trace per simulator; when absent, the constructor analyzes the trace
+  /// itself, so run_single and direct construction are unaffected.
+  std::shared_ptr<const workload::TraceStats> trace_stats{};
 };
 
 class Simulator {
@@ -145,6 +153,34 @@ class Simulator {
   void step_hier_gd(const Request& request, unsigned proxy_index);
   void step_squirrel(const Request& request, unsigned proxy_index);
 
+  // --- cluster residency index -------------------------------------------
+  // object → bitmask of proxies holding it, maintained from the step
+  // functions' insert/evict/erase results (plus the TieredCache transition
+  // hook), so the remote-lookup scans become one array read + a ring-ordered
+  // bit scan instead of per-proxy hash probes. Enabled for cooperating
+  // schemes with <= 64 proxies; the historical per-proxy probe loops remain
+  // as the fallback above that. What each mask means is per scheme:
+  //   SC / FC    res_primary_ = proxy cache membership
+  //   SC-EC      res_primary_ = tier 1 (proxy), res_secondary_ = tier 2 (P2P)
+  //   FC-EC      res_primary_ = tier tracker, res_secondary_ = unified cache
+  //              (tracker ⊆ unified; tier-2 candidates = unified & ~tracker)
+  //   Hier-GD    res_primary_ = proxy greedy-dual cache membership
+  [[nodiscard]] std::uint64_t residency_mask(const std::vector<std::uint64_t>& masks,
+                                             ObjectNum object) const {
+    return object < masks.size() ? masks[object] : 0;
+  }
+  void residency_set(std::vector<std::uint64_t>& masks, ObjectNum object, unsigned proxy) {
+    if (object >= masks.size()) masks.resize(object + 1, 0);
+    masks[object] |= std::uint64_t{1} << proxy;
+  }
+  void residency_clear(std::vector<std::uint64_t>& masks, ObjectNum object, unsigned proxy) {
+    if (object < masks.size()) masks[object] &= ~(std::uint64_t{1} << proxy);
+  }
+  /// First cooperating proxy in ring order (local+1, local+2, ... mod P)
+  /// whose bit is set; -1 when none. This is exactly the proxy the
+  /// historical scan loops selected.
+  [[nodiscard]] int first_remote_holder(std::uint64_t mask, unsigned local) const;
+
   /// Records one served request: outcome counters + latency (+ waste and
   /// per-hop charges).
   void account(net::ServedFrom where, double wasted_latency, double hop_latency = 0.0);
@@ -154,10 +190,11 @@ class Simulator {
   void destage_hier_gd(Proxy& proxy, ObjectNum victim, ClientNum via_client);
 
   /// Hier-GD: admits a fetched object into the proxy's greedy-dual cache.
-  void admit_hier_gd(Proxy& proxy, ObjectNum object, double cost, ClientNum via_client);
+  void admit_hier_gd(unsigned proxy_index, ObjectNum object, double cost,
+                     ClientNum via_client);
 
   /// Marks an object as recently proxy-resident for FC-EC attribution.
-  void track_tier1(Proxy& proxy, ObjectNum object);
+  void track_tier1(unsigned proxy_index, ObjectNum object);
 
   [[nodiscard]] ClientNum client_of(const Request& request, const Proxy& proxy) const;
 
@@ -170,6 +207,9 @@ class Simulator {
   std::size_t next_failure_ = 0;
   Metrics metrics_;
   bool ran_ = false;
+  bool residency_enabled_ = false;
+  std::vector<std::uint64_t> res_primary_;
+  std::vector<std::uint64_t> res_secondary_;
 };
 
 /// Convenience: construct, run, return metrics.

@@ -25,9 +25,14 @@ void TieredCache::destage(ObjectNum object) {
   const auto ins = tier2_->insert(object, cost);
   if (!ins.inserted) {
     cost_.erase(object);  // zero-capacity tier 2: the object leaves entirely
+    notify(object, Where::kMiss);
     return;
   }
-  if (ins.evicted) cost_.erase(*ins.evicted);
+  notify(object, Where::kTier2);
+  if (ins.evicted) {
+    cost_.erase(*ins.evicted);
+    notify(*ins.evicted, Where::kMiss);
+  }
 }
 
 TieredCache::Where TieredCache::access(ObjectNum object, double cost) {
@@ -46,10 +51,19 @@ TieredCache::Where TieredCache::access(ObjectNum object, double cost) {
       if (!ins.inserted) {
         // Tier 1 declined (degenerate zero-capacity proxy): put it back.
         const auto back = tier2_->insert(object, cost);
-        if (back.evicted) cost_.erase(*back.evicted);
-        if (!back.inserted) cost_.erase(object);
+        if (back.evicted) {
+          cost_.erase(*back.evicted);
+          notify(*back.evicted, Where::kMiss);
+        }
+        if (!back.inserted) {
+          cost_.erase(object);
+          notify(object, Where::kMiss);
+        } else {
+          notify(object, Where::kTier2);
+        }
         break;
       }
+      notify(object, Where::kTier1);
       if (ins.evicted) destage(*ins.evicted);
       break;
     }
@@ -81,6 +95,7 @@ bool TieredCache::admit(ObjectNum object, double cost) {
   const auto ins = tier1_->insert(object, cost);
   if (!ins.inserted) return false;
   cost_[object] = cost;
+  notify(object, Where::kTier1);
   if (ins.evicted) destage(*ins.evicted);
   return true;
 }

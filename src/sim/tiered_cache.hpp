@@ -11,6 +11,7 @@
 // tier — making the ideal-vs-Pastry comparison an apples-to-apples ablation.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -56,12 +57,24 @@ class TieredCache {
     return tier1_->capacity() + tier2_->capacity();
   }
 
+  /// Observer for membership transitions: invoked with an object's new
+  /// location whenever it enters a tier, moves between tiers, or leaves the
+  /// unified cache (kMiss). The simulator's cluster residency index hangs off
+  /// this; lookups (locate/refresh) never fire it.
+  using TransitionHook = std::function<void(ObjectNum, Where)>;
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
  private:
+  void notify(ObjectNum object, Where now) {
+    if (hook_) hook_(object, now);
+  }
+
   /// Moves tier 1's eviction victim down into tier 2.
   void destage(ObjectNum object);
 
   std::unique_ptr<cache::Cache> tier1_;
   std::unique_ptr<cache::Cache> tier2_;
+  TransitionHook hook_;
   /// Refetch cost of every object currently cached — needed to credit
   /// destaged objects correctly in value-based tiers.
   std::unordered_map<ObjectNum, double> cost_;

@@ -1,0 +1,502 @@
+// Golden-sequence tests for the heap-backed caches.
+//
+// LfuCache, GreedyDualCache and CostBenefitCache historically kept their
+// victim order in a std::set<std::tuple<...>>; they now share the
+// lazy-deletion EvictionHeap. These tests rebuild the original std::set
+// implementations locally and drive both through identical recorded traces
+// (~10k pseudo-random operations), asserting that every insert returns the
+// exact same victim, that peek_victim() agrees after every operation, and
+// that the final contents match. Any divergence in tie-breaking (equal LFU-DA
+// keys after aging, equal greedy-dual credits, equal cost-benefit values
+// after clairvoyant decay to zero) would surface as a wrong victim.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "cache/cost_benefit.hpp"
+#include "cache/greedy_dual.hpp"
+#include "cache/lfu.hpp"
+
+namespace {
+
+using namespace webcache;
+using cache::InsertResult;
+
+// Deterministic 64-bit LCG (MMIX constants) so the recorded trace is stable
+// across platforms and standard-library versions.
+class TraceRng {
+ public:
+  explicit TraceRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 16;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::vector<ObjectNum> sorted(std::vector<ObjectNum> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// --- reference LFU: the historical std::set implementation ------------------
+
+class RefLfu {
+ public:
+  RefLfu(std::size_t capacity, cache::LfuMode mode) : capacity_(capacity), mode_(mode) {}
+
+  bool contains(ObjectNum o) const { return entries_.contains(o); }
+
+  void access(ObjectNum o) {
+    auto& e = entries_.at(o);
+    order_.erase({e.key, e.last_seq, o});
+    ++e.freq;
+    e.key = mode_ == cache::LfuMode::kDynamicAging ? e.freq + aging_floor_ : e.freq;
+    e.last_seq = ++seq_;
+    order_.insert({e.key, e.last_seq, o});
+    if (mode_ == cache::LfuMode::kPerfect) ++history_[o];
+  }
+
+  InsertResult insert(ObjectNum o) {
+    std::uint64_t start_freq = 1;
+    if (mode_ == cache::LfuMode::kPerfect) start_freq = ++history_[o];
+    InsertResult result;
+    result.inserted = true;
+    if (entries_.size() >= capacity_) {
+      const auto [vkey, vseq, victim] = *order_.begin();
+      if (mode_ == cache::LfuMode::kDynamicAging) aging_floor_ = vkey;
+      order_.erase(order_.begin());
+      entries_.erase(victim);
+      result.evicted = victim;
+    }
+    const Entry e{start_freq,
+                  mode_ == cache::LfuMode::kDynamicAging ? start_freq + aging_floor_
+                                                         : start_freq,
+                  ++seq_};
+    entries_.emplace(o, e);
+    order_.insert({e.key, e.last_seq, o});
+    return result;
+  }
+
+  bool erase(ObjectNum o) {
+    const auto it = entries_.find(o);
+    if (it == entries_.end()) return false;
+    order_.erase({it->second.key, it->second.last_seq, o});
+    entries_.erase(it);
+    return true;
+  }
+
+  std::optional<ObjectNum> peek_victim() const {
+    if (order_.empty()) return std::nullopt;
+    return std::get<2>(*order_.begin());
+  }
+
+  std::vector<ObjectNum> contents() const {
+    std::vector<ObjectNum> out;
+    for (const auto& [o, _] : entries_) out.push_back(o);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t freq;
+    std::uint64_t key;
+    std::uint64_t last_seq;
+  };
+  std::size_t capacity_;
+  cache::LfuMode mode_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t aging_floor_ = 0;
+  std::set<std::tuple<std::uint64_t, std::uint64_t, ObjectNum>> order_;
+  std::map<ObjectNum, Entry> entries_;
+  std::map<ObjectNum, std::uint64_t> history_;
+};
+
+void drive_lfu(cache::LfuMode mode) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr ObjectNum kObjects = 400;  // ~6x capacity: constant eviction churn
+  constexpr int kSteps = 10'000;
+
+  cache::LfuCache real(kCapacity, mode);
+  RefLfu ref(kCapacity, mode);
+  TraceRng rng(2003);
+
+  for (int step = 0; step < kSteps; ++step) {
+    // Skewed object choice (square of a uniform draw) so some objects grow
+    // large frequencies while a long tail of one-timers churns the victim
+    // end of the order — the regime where tie-breaks matter.
+    const auto u = rng.below(kObjects);
+    const ObjectNum o = static_cast<ObjectNum>((u * u) / kObjects);
+
+    if (step % 97 == 96) {
+      // Exercise lazy deletion: erase a (possibly absent) random object.
+      const auto target = static_cast<ObjectNum>(rng.below(kObjects));
+      EXPECT_EQ(real.erase(target), ref.erase(target)) << "step " << step;
+    } else if (real.contains(o)) {
+      ASSERT_TRUE(ref.contains(o)) << "step " << step;
+      real.access(o, 1.0);
+      ref.access(o);
+    } else {
+      ASSERT_FALSE(ref.contains(o)) << "step " << step;
+      const InsertResult got = real.insert(o, 1.0);
+      const InsertResult want = ref.insert(o);
+      ASSERT_EQ(got.inserted, want.inserted) << "step " << step;
+      ASSERT_EQ(got.evicted, want.evicted) << "step " << step;
+    }
+    ASSERT_EQ(real.peek_victim(), ref.peek_victim()) << "step " << step;
+  }
+  EXPECT_EQ(sorted(real.contents()), sorted(ref.contents()));
+}
+
+TEST(EvictionOrder, LfuDynamicAgingMatchesSetReference) {
+  drive_lfu(cache::LfuMode::kDynamicAging);
+}
+
+TEST(EvictionOrder, LfuInCacheMatchesSetReference) { drive_lfu(cache::LfuMode::kInCache); }
+
+TEST(EvictionOrder, LfuPerfectMatchesSetReference) { drive_lfu(cache::LfuMode::kPerfect); }
+
+// LFU-DA aging-floor ties, pinned explicitly: after the floor rises, a burst
+// of fresh single-access inserts all carry key = 1 + floor, and the victim
+// among them must be the least recently inserted (smallest seq).
+TEST(EvictionOrder, LfuDaAgingFloorTieBreaksBySeq) {
+  constexpr std::size_t kCapacity = 8;
+  cache::LfuCache real(kCapacity, cache::LfuMode::kDynamicAging);
+  RefLfu ref(kCapacity, cache::LfuMode::kDynamicAging);
+
+  // Warm a hot set so evictions raise the floor above 1.
+  for (ObjectNum o = 0; o < kCapacity; ++o) {
+    real.insert(o, 1.0);
+    ref.insert(o);
+    for (int hit = 0; hit < 5; ++hit) {
+      real.access(o, 1.0);
+      ref.access(o);
+    }
+  }
+  // 32 fresh one-timers: every insert evicts, the floor ratchets, and all
+  // newcomers tie on key = 1 + floor until the floor moves again.
+  for (ObjectNum o = 100; o < 132; ++o) {
+    const InsertResult got = real.insert(o, 1.0);
+    const InsertResult want = ref.insert(o);
+    ASSERT_EQ(got.evicted, want.evicted) << "object " << o;
+    ASSERT_EQ(real.peek_victim(), ref.peek_victim()) << "object " << o;
+    ASSERT_EQ(real.aging_floor(), 6u + (o - 100) / kCapacity) << "object " << o;
+  }
+}
+
+// --- reference greedy-dual: the historical std::set implementation -----------
+
+class RefGreedyDual {
+ public:
+  explicit RefGreedyDual(std::size_t capacity) : capacity_(capacity) {}
+
+  bool contains(ObjectNum o) const { return entries_.contains(o); }
+
+  void access(ObjectNum o, double cost) {
+    auto& e = entries_.at(o);
+    order_.erase({e.inflated_credit, e.seq, o});
+    e.inflated_credit = cost + inflation_;
+    e.seq = ++seq_;
+    order_.insert({e.inflated_credit, e.seq, o});
+  }
+
+  InsertResult insert(ObjectNum o, double cost) {
+    InsertResult result;
+    result.inserted = true;
+    if (entries_.size() >= capacity_) {
+      const auto [vcredit, vseq, victim] = *order_.begin();
+      inflation_ = vcredit;
+      order_.erase(order_.begin());
+      entries_.erase(victim);
+      result.evicted = victim;
+    }
+    const Entry e{cost + inflation_, ++seq_};
+    entries_.emplace(o, e);
+    order_.insert({e.inflated_credit, e.seq, o});
+    return result;
+  }
+
+  bool erase(ObjectNum o) {
+    const auto it = entries_.find(o);
+    if (it == entries_.end()) return false;
+    order_.erase({it->second.inflated_credit, it->second.seq, o});
+    entries_.erase(it);
+    return true;
+  }
+
+  std::optional<ObjectNum> peek_victim() const {
+    if (order_.empty()) return std::nullopt;
+    return std::get<2>(*order_.begin());
+  }
+
+  std::vector<ObjectNum> contents() const {
+    std::vector<ObjectNum> out;
+    for (const auto& [o, _] : entries_) out.push_back(o);
+    return out;
+  }
+
+  double inflation() const { return inflation_; }
+
+ private:
+  struct Entry {
+    double inflated_credit;
+    std::uint64_t seq;
+  };
+  std::size_t capacity_;
+  double inflation_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::set<std::tuple<double, std::uint64_t, ObjectNum>> order_;
+  std::map<ObjectNum, Entry> entries_;
+};
+
+TEST(EvictionOrder, GreedyDualMatchesSetReference) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr ObjectNum kObjects = 400;
+  constexpr int kSteps = 10'000;
+  // A small cost alphabet (the simulator's Tc / Ts / Ts + (P-1)(Ts - Tc)
+  // magnitudes) produces many exactly-equal credits, so the seq tie-break is
+  // load-bearing throughout the run.
+  constexpr double kCosts[] = {5.0, 25.0, 45.0, 25.0};
+
+  cache::GreedyDualCache real(kCapacity);
+  RefGreedyDual ref(kCapacity);
+  TraceRng rng(1998);
+
+  for (int step = 0; step < kSteps; ++step) {
+    const auto u = rng.below(kObjects);
+    const ObjectNum o = static_cast<ObjectNum>((u * u) / kObjects);
+    const double cost = kCosts[o % 4];
+
+    if (step % 97 == 96) {
+      const auto target = static_cast<ObjectNum>(rng.below(kObjects));
+      EXPECT_EQ(real.erase(target), ref.erase(target)) << "step " << step;
+    } else if (real.contains(o)) {
+      ASSERT_TRUE(ref.contains(o)) << "step " << step;
+      real.access(o, cost);
+      ref.access(o, cost);
+    } else {
+      ASSERT_FALSE(ref.contains(o)) << "step " << step;
+      const InsertResult got = real.insert(o, cost);
+      const InsertResult want = ref.insert(o, cost);
+      ASSERT_EQ(got.inserted, want.inserted) << "step " << step;
+      ASSERT_EQ(got.evicted, want.evicted) << "step " << step;
+    }
+    ASSERT_EQ(real.peek_victim(), ref.peek_victim()) << "step " << step;
+    ASSERT_EQ(real.inflation(), ref.inflation()) << "step " << step;
+  }
+  EXPECT_EQ(sorted(real.contents()), sorted(ref.contents()));
+}
+
+// --- reference cost-benefit cluster: coordinator + per-cache std::set --------
+//
+// CostBenefitCache is inseparable from its coordinator (replica-count
+// repricing, clairvoyant frequency decay), so the reference reimplements the
+// whole cluster: member caches are indices, victim orders are the historical
+// std::set<tuple<value, seq, object>>.
+
+class RefCbCluster {
+ public:
+  RefCbCluster(std::vector<double> per_proxy_frequency, unsigned cluster_size,
+               double server_latency, double proxy_latency, std::size_t capacity)
+      : frequency_(std::move(per_proxy_frequency)),
+        cluster_size_(cluster_size),
+        server_latency_(server_latency),
+        proxy_latency_(proxy_latency),
+        caches_(cluster_size) {
+    for (auto& c : caches_) c.capacity = capacity;
+  }
+
+  bool contains(unsigned idx, ObjectNum o) const {
+    return caches_[idx].entries.contains(o);
+  }
+
+  void consume(ObjectNum o) {
+    if (o >= frequency_.size()) return;
+    frequency_[o] =
+        std::max(0.0, frequency_[o] - 1.0 / static_cast<double>(cluster_size_));
+    const auto it = holders_.find(o);
+    if (it == holders_.end()) return;
+    const double value = copy_value(o, static_cast<unsigned>(it->second.size()));
+    for (const unsigned holder : it->second) reprice(holder, o, value);
+  }
+
+  InsertResult insert(unsigned idx, ObjectNum o) {
+    auto& c = caches_[idx];
+    const auto hit = holders_.find(o);
+    const unsigned replicas_after =
+        (hit == holders_.end() ? 0 : static_cast<unsigned>(hit->second.size())) + 1;
+    const double new_value = copy_value(o, replicas_after);
+
+    InsertResult result;
+    if (c.entries.size() >= c.capacity) {
+      const auto [vvalue, vseq, victim] = *c.order.begin();
+      if (new_value <= vvalue) return result;
+      c.order.erase(c.order.begin());
+      c.entries.erase(victim);
+      result.evicted = victim;
+      on_copy_removed(victim, idx);
+    }
+    result.inserted = true;
+    const Entry e{new_value, ++c.seq};
+    c.entries.emplace(o, e);
+    c.order.insert({e.value, e.seq, o});
+    on_copy_added(o, idx);
+    return result;
+  }
+
+  bool erase(unsigned idx, ObjectNum o) {
+    auto& c = caches_[idx];
+    const auto it = c.entries.find(o);
+    if (it == c.entries.end()) return false;
+    c.order.erase({it->second.value, it->second.seq, o});
+    c.entries.erase(it);
+    on_copy_removed(o, idx);
+    return true;
+  }
+
+  std::optional<ObjectNum> peek_victim(unsigned idx) const {
+    const auto& c = caches_[idx];
+    if (c.order.empty()) return std::nullopt;
+    return std::get<2>(*c.order.begin());
+  }
+
+  double value_of(unsigned idx, ObjectNum o) const {
+    const auto it = caches_[idx].entries.find(o);
+    return it == caches_[idx].entries.end() ? 0.0 : it->second.value;
+  }
+
+  std::vector<ObjectNum> contents(unsigned idx) const {
+    std::vector<ObjectNum> out;
+    for (const auto& [o, _] : caches_[idx].entries) out.push_back(o);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double value;
+    std::uint64_t seq;
+  };
+  struct Cache {
+    std::size_t capacity = 0;
+    std::uint64_t seq = 0;
+    std::set<std::tuple<double, std::uint64_t, ObjectNum>> order;
+    std::map<ObjectNum, Entry> entries;
+  };
+
+  double copy_value(ObjectNum o, unsigned replicas) const {
+    const double f = o < frequency_.size() ? frequency_[o] : 0.0;
+    if (replicas <= 1) {
+      return f * (server_latency_ + static_cast<double>(cluster_size_ - 1) *
+                                        (server_latency_ - proxy_latency_));
+    }
+    return f * proxy_latency_;
+  }
+
+  void reprice(unsigned idx, ObjectNum o, double new_value) {
+    auto& c = caches_[idx];
+    auto& e = c.entries.at(o);
+    if (e.value == new_value) return;
+    c.order.erase({e.value, e.seq, o});
+    e.value = new_value;
+    c.order.insert({e.value, e.seq, o});
+  }
+
+  void on_copy_added(ObjectNum o, unsigned idx) {
+    auto& holders = holders_[o];
+    holders.push_back(idx);
+    if (holders.size() == 2) {
+      const unsigned other = holders.front() == idx ? holders.back() : holders.front();
+      reprice(other, o, copy_value(o, 2));
+    }
+  }
+
+  void on_copy_removed(ObjectNum o, unsigned idx) {
+    const auto it = holders_.find(o);
+    ASSERT_TRUE(it != holders_.end());
+    std::erase(it->second, idx);
+    if (it->second.size() == 1) {
+      reprice(it->second.front(), o, copy_value(o, 1));
+    } else if (it->second.empty()) {
+      holders_.erase(it);
+    }
+  }
+
+  std::vector<double> frequency_;
+  unsigned cluster_size_;
+  double server_latency_;
+  double proxy_latency_;
+  std::vector<Cache> caches_;
+  std::map<ObjectNum, std::vector<unsigned>> holders_;
+};
+
+TEST(EvictionOrder, CostBenefitClusterMatchesSetReference) {
+  constexpr unsigned kProxies = 3;
+  constexpr std::size_t kCapacity = 48;
+  constexpr ObjectNum kObjects = 300;
+  constexpr int kSteps = 10'000;
+  constexpr double kTs = 25.0;
+  constexpr double kTc = 5.0;
+
+  // Perfect-knowledge frequencies with deliberate collisions (o % 17) so many
+  // copies share exact values; small enough that consume() drains popular
+  // objects to 0 mid-run, flooding the victim end with equal-zero values.
+  std::vector<double> freqs(kObjects);
+  for (ObjectNum o = 0; o < kObjects; ++o) {
+    freqs[o] = 1.0 + static_cast<double>(o % 17) * 0.5;
+  }
+
+  cache::CostBenefitCoordinator coord(freqs, kProxies, kTs, kTc);
+  std::vector<std::unique_ptr<cache::CostBenefitCache>> real;
+  for (unsigned p = 0; p < kProxies; ++p) {
+    real.push_back(std::make_unique<cache::CostBenefitCache>(kCapacity, coord));
+  }
+  RefCbCluster ref(freqs, kProxies, kTs, kTc, kCapacity);
+
+  TraceRng rng(2001);
+  for (int step = 0; step < kSteps; ++step) {
+    const auto u = rng.below(kObjects);
+    const ObjectNum o = static_cast<ObjectNum>((u * u) / kObjects);
+    const auto idx = static_cast<unsigned>(rng.below(kProxies));
+
+    // Clairvoyant accounting first, exactly as the FC driver does.
+    coord.consume(o);
+    ref.consume(o);
+
+    if (step % 101 == 100) {
+      const auto target = static_cast<ObjectNum>(rng.below(kObjects));
+      ASSERT_EQ(real[idx]->erase(target), ref.erase(idx, target)) << "step " << step;
+    } else if (real[idx]->contains(o)) {
+      ASSERT_TRUE(ref.contains(idx, o)) << "step " << step;
+      real[idx]->access(o, 0.0);  // values are static; access is a no-op
+    } else {
+      ASSERT_FALSE(ref.contains(idx, o)) << "step " << step;
+      const InsertResult got = real[idx]->insert(o, 0.0);
+      const InsertResult want = ref.insert(idx, o);
+      ASSERT_EQ(got.inserted, want.inserted) << "step " << step;
+      ASSERT_EQ(got.evicted, want.evicted) << "step " << step;
+    }
+    for (unsigned p = 0; p < kProxies; ++p) {
+      ASSERT_EQ(real[p]->peek_victim(), ref.peek_victim(p))
+          << "step " << step << " proxy " << p;
+      if (const auto victim = real[p]->peek_victim()) {
+        ASSERT_EQ(real[p]->value_of(*victim), ref.value_of(p, *victim))
+            << "step " << step << " proxy " << p;
+      }
+    }
+  }
+  for (unsigned p = 0; p < kProxies; ++p) {
+    EXPECT_EQ(sorted(real[p]->contents()), sorted(ref.contents(p))) << "proxy " << p;
+  }
+}
+
+}  // namespace

@@ -14,7 +14,12 @@
 //   --directory exact|bloom --bloom-fpr X --no-diversion
 //   --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N
 //
+// Environment:
+//   WEBCACHE_THREADS  worker threads for sweep (default 0 = one per core;
+//                     results are bitwise identical regardless).
+//
 // Exit code 0 on success, 2 on usage errors.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -223,6 +228,15 @@ int cmd_sweep(const Flags& flags) {
   core::SweepConfig sweep;
   sweep.base = cluster_from(flags, trace);
   sweep.client_cache_percent = flags.num("client-cache-pct", 0.1);
+  if (const char* env = std::getenv("WEBCACHE_THREADS")) {
+    char* end = nullptr;
+    const unsigned long t = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      sweep.threads = static_cast<unsigned>(t);
+    } else {
+      std::cerr << "ignoring invalid WEBCACHE_THREADS=" << env << "\n";
+    }
+  }
 
   if (flags.has("schemes")) {
     sweep.schemes.clear();
