@@ -14,9 +14,14 @@
 //                         core). Results are bitwise identical regardless.
 //   WEBCACHE_BENCH_JSON_DIR  directory for BENCH_<name>.json reports
 //                         (default: current directory).
+//   WEBCACHE_METRICS_OUT  path for a "webcache-metrics/1" JSON export of the
+//                         bench's sweeps (same as passing --metrics-out).
+//   WEBCACHE_SNAPSHOT_INTERVAL  interval-snapshot period in requests for the
+//                         export (same as --snapshot-interval; 0 = off).
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -112,6 +117,82 @@ class BenchReport {
   std::string name_;
   std::vector<std::pair<std::string, double>> sections_;
   std::vector<std::pair<std::string, double>> throughput_;
+};
+
+/// Observability plumbing shared by the sweep benches: parses
+/// `--metrics-out FILE` and `--snapshot-interval N` from argv (with
+/// WEBCACHE_METRICS_OUT / WEBCACHE_SNAPSHOT_INTERVAL as env fallbacks),
+/// switches the sweep into collect_observability mode, and writes the
+/// "webcache-metrics/1" JSON export after the run. Benches that run several
+/// sweeps pass a distinct label per sweep; the label is inserted before the
+/// file extension ("out.json" + label "a05" -> "out.a05.json").
+class ObsOptions {
+ public:
+  ObsOptions(int argc, char** argv) {
+    if (const char* env = std::getenv("WEBCACHE_METRICS_OUT")) path_ = env;
+    if (const char* env = std::getenv("WEBCACHE_SNAPSHOT_INTERVAL")) {
+      parse_interval(env, "WEBCACHE_SNAPSHOT_INTERVAL");
+    }
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--metrics-out" && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (arg == "--snapshot-interval" && i + 1 < argc) {
+        parse_interval(argv[++i], "--snapshot-interval");
+      } else {
+        std::cerr << "ignoring unknown bench argument: " << arg << "\n";
+      }
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Turns on registry collection for the sweep when an output was requested.
+  void apply(core::SweepConfig& config) const {
+    config.collect_observability = enabled();
+    config.snapshot_interval = snapshot_interval_;
+  }
+
+  /// Writes the sweep's metrics export. Single-sweep benches pass an empty
+  /// label (the file goes exactly where --metrics-out points, which the
+  /// metrics-gating test relies on); multi-sweep benches pass one label per
+  /// sweep. No-op when no output was requested.
+  void write(const core::SweepResult& result, const std::string& bench_name,
+             const std::string& label = {}) const {
+    if (!enabled()) return;
+    std::string path = path_;
+    if (!label.empty()) {
+      const auto dot = path.find_last_of('.');
+      const auto slash = path.find_last_of('/');
+      if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+        path = path.substr(0, dot) + "." + label + path.substr(dot);
+      } else {
+        path += "." + label;
+      }
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return;
+    }
+    const std::string name = label.empty() ? bench_name : bench_name + " " + label;
+    core::write_metrics_json(out, result, name);
+    std::cout << "# [metrics written to " << path << "]\n";
+  }
+
+ private:
+  void parse_interval(const char* value, const char* what) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(value, &end, 10);
+    if (end != value && *end == '\0') {
+      snapshot_interval_ = n;
+    } else {
+      std::cerr << "ignoring invalid " << what << "=" << value << "\n";
+    }
+  }
+
+  std::string path_;
+  std::uint64_t snapshot_interval_ = 0;
 };
 
 /// Timer helper: prints elapsed seconds after each bench section, and

@@ -5,17 +5,20 @@
 // clients per cluster, each contributing 0.1% of the infinite cache size.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcache;
   bench::SectionTimer timer("fig2a");
+  const bench::ObsOptions obs(argc, argv);
 
   const auto trace = workload::ProWGen(bench::paper_workload()).generate();
 
   core::SweepConfig cfg;  // defaults are exactly the paper's setup
   cfg.threads = bench::bench_threads();
+  obs.apply(cfg);
   const auto result = core::run_sweep(trace, cfg);
   core::print_gain_table(std::cout, result,
                          "Figure 2(a): latency gain (%) vs proxy cache size (% of "
                          "infinite cache size), synthetic workload");
+  obs.write(result, "fig2a_cache_size");
   return 0;
 }

@@ -8,9 +8,10 @@
 
 #include "workload/ucb_like.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcache;
   bench::SectionTimer timer("fig2b");
+  const bench::ObsOptions obs(argc, argv);
 
   workload::UcbLikeConfig ucb;
   // Default to ~1/10 of the 9.2M-request original: the gain curves are
@@ -21,10 +22,12 @@ int main() {
 
   core::SweepConfig cfg;
   cfg.threads = bench::bench_threads();
+  obs.apply(cfg);
   const auto result = core::run_sweep(trace, cfg);
   core::print_gain_table(std::cout, result,
                          "Figure 2(b): latency gain (%) vs proxy cache size (% of "
                          "infinite cache size), UCB-like trace (" +
                              std::to_string(trace.size()) + " requests)");
+  obs.write(result, "fig2b_ucb");
   return 0;
 }

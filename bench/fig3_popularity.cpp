@@ -6,9 +6,12 @@
 // cooperation only helps beyond what a single cache already captures.
 #include "bench_common.hpp"
 
-int main() {
+#include <cmath>
+
+int main(int argc, char** argv) {
   using namespace webcache;
   bench::SectionTimer timer("fig3");
+  const bench::ObsOptions obs(argc, argv);
 
   const double alphas[] = {0.5, 0.7, 1.0};
   const sim::Scheme panels[] = {sim::Scheme::kFC, sim::Scheme::kSC_EC,
@@ -24,7 +27,10 @@ int main() {
     core::SweepConfig cfg;
     cfg.threads = bench::bench_threads();
     cfg.schemes = {panels[0], panels[1], panels[2], panels[3]};
+    obs.apply(cfg);
     results.push_back(core::run_sweep(trace, cfg));
+    obs.write(results.back(), "fig3_popularity",
+              "alpha" + std::to_string(std::lround(alpha * 100)));
   }
 
   for (std::size_t p = 0; p < std::size(panels); ++p) {

@@ -6,9 +6,12 @@
 // locality makes even the isolated NC cache effective.
 #include "bench_common.hpp"
 
-int main() {
+#include <cmath>
+
+int main(int argc, char** argv) {
   using namespace webcache;
   bench::SectionTimer timer("fig4");
+  const bench::ObsOptions obs(argc, argv);
 
   const double stacks[] = {0.05, 0.20, 0.60};
   const sim::Scheme panels[] = {sim::Scheme::kFC, sim::Scheme::kSC_EC,
@@ -25,7 +28,10 @@ int main() {
     core::SweepConfig cfg;
     cfg.threads = bench::bench_threads();
     cfg.schemes = {panels[0], panels[1], panels[2], panels[3]};
+    obs.apply(cfg);
     results.push_back(core::run_sweep(trace, cfg));
+    obs.write(results.back(), "fig4_temporal_locality",
+              "stack" + std::to_string(std::lround(stack * 100)));
   }
 
   for (std::size_t p = 0; p < std::size(panels); ++p) {

@@ -4,9 +4,12 @@
 // relative to the origin server, the more cooperation pays off.
 #include "bench_common.hpp"
 
-int main() {
+#include <cmath>
+
+int main(int argc, char** argv) {
   using namespace webcache;
   bench::SectionTimer timer("fig5a");
+  const bench::ObsOptions obs(argc, argv);
 
   const auto trace = workload::ProWGen(bench::paper_workload()).generate();
   const double ratios[] = {2.0, 5.0, 10.0};
@@ -17,7 +20,10 @@ int main() {
     cfg.threads = bench::bench_threads();
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.latencies = net::LatencyModel::from_ratios(/*ts_over_tc=*/ratio);
+    obs.apply(cfg);
     results.push_back(core::run_sweep(trace, cfg));
+    obs.write(results.back(), "fig5a_proxy_latency",
+              "ratio" + std::to_string(std::lround(ratio)));
   }
 
   std::cout << "# Figure 5(a) Hier-GD/NC: latency gain (%) vs cache size for "

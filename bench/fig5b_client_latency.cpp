@@ -4,9 +4,12 @@
 // outcome cheaper relative to the origin server, raising the gain.
 #include "bench_common.hpp"
 
-int main() {
+#include <cmath>
+
+int main(int argc, char** argv) {
   using namespace webcache;
   bench::SectionTimer timer("fig5b");
+  const bench::ObsOptions obs(argc, argv);
 
   const auto trace = workload::ProWGen(bench::paper_workload()).generate();
   const double ratios[] = {5.0, 10.0, 20.0};
@@ -18,7 +21,10 @@ int main() {
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.latencies = net::LatencyModel::from_ratios(/*ts_over_tc=*/10.0,
                                                         /*ts_over_tl=*/ratio);
+    obs.apply(cfg);
     results.push_back(core::run_sweep(trace, cfg));
+    obs.write(results.back(), "fig5b_client_latency",
+              "ratio" + std::to_string(std::lround(ratio)));
   }
 
   std::cout << "# Figure 5(b) Hier-GD/NC: latency gain (%) vs cache size for "

@@ -7,9 +7,10 @@
 // a large population, especially at small proxy caches.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcache;
   bench::SectionTimer timer("fig5c");
+  const bench::ObsOptions obs(argc, argv);
 
   const auto trace = workload::ProWGen(bench::paper_workload()).generate();
   const ClientNum cluster_sizes[] = {100, 400, 800, 1000};
@@ -18,7 +19,9 @@ int main() {
   core::SweepConfig ref_cfg;
   ref_cfg.threads = bench::bench_threads();
   ref_cfg.schemes = {sim::Scheme::kSC, sim::Scheme::kFC};
+  obs.apply(ref_cfg);
   const auto ref = core::run_sweep(trace, ref_cfg);
+  obs.write(ref, "fig5c_client_cluster", "ref");
 
   std::vector<core::SweepResult> results;
   for (const ClientNum clients : cluster_sizes) {
@@ -26,7 +29,10 @@ int main() {
     cfg.threads = bench::bench_threads();
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.clients_per_cluster = clients;
+    obs.apply(cfg);
     results.push_back(core::run_sweep(trace, cfg));
+    obs.write(results.back(), "fig5c_client_cluster",
+              "clients" + std::to_string(clients));
   }
 
   std::cout << "# Figure 5(c): latency gain (%) vs cache size; Hier-GD for "

@@ -5,9 +5,10 @@
 // mean more places a missed object can be found short of the origin server.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcache;
   bench::SectionTimer timer("fig5d");
+  const bench::ObsOptions obs(argc, argv);
 
   const auto trace = workload::ProWGen(bench::paper_workload()).generate();
   const unsigned cluster_sizes[] = {2, 5, 10};
@@ -18,7 +19,10 @@ int main() {
     cfg.threads = bench::bench_threads();
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.num_proxies = proxies;
+    obs.apply(cfg);
     results.push_back(core::run_sweep(trace, cfg));
+    obs.write(results.back(), "fig5d_proxy_cluster",
+              "proxies" + std::to_string(proxies));
   }
 
   std::cout << "# Figure 5(d) Hier-GD/NC: latency gain (%) vs cache size for "

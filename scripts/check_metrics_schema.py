@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate a "webcache-metrics/1" JSON export.
+
+Accepts both document shapes the repo emits:
+  * single-registry documents (webcache_cli simulate --metrics-out,
+    obs::Registry::write_json): {"schema", "name", "metrics": {...}}
+  * sweep documents (webcache_cli sweep --metrics-out, the fig benches,
+    core::write_metrics_json): {"schema", "name", "infinite_cache_size",
+    "client_cache_capacity", "runs": [{"cache_percent", "scheme",
+    "latency_gain_percent", "metrics": {...}}, ...]}
+
+A metrics body must contain the five sections (counters, gauges, stats,
+histograms, snapshots) with the documented value shapes, and its "sim.*"
+counters — when present — must be internally consistent (hits + server
+fetches == requests). Exits 0 when valid, 1 with a message when not.
+
+Usage: check_metrics_schema.py FILE [FILE...]
+"""
+
+import json
+import numbers
+import sys
+
+SCHEMA = "webcache-metrics/1"
+SIM_OUTCOMES = [
+    "sim.hits_browser",
+    "sim.hits_local_proxy",
+    "sim.hits_local_p2p",
+    "sim.hits_remote_proxy",
+    "sim.hits_remote_p2p",
+    "sim.server_fetches",
+]
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, where, message):
+    if not cond:
+        raise SchemaError(f"{where}: {message}")
+
+
+def check_metrics_body(body, where):
+    require(isinstance(body, dict), where, "metrics body is not an object")
+    for section in ("counters", "gauges", "stats", "histograms", "snapshots"):
+        require(section in body, where, f"missing section '{section}'")
+
+    counters = body["counters"]
+    require(isinstance(counters, dict), where, "'counters' is not an object")
+    for name, value in counters.items():
+        require(
+            isinstance(value, int) and value >= 0,
+            where,
+            f"counter '{name}' is not a non-negative integer: {value!r}",
+        )
+
+    gauges = body["gauges"]
+    require(isinstance(gauges, dict), where, "'gauges' is not an object")
+    for name, value in gauges.items():
+        require(
+            isinstance(value, numbers.Real),
+            where,
+            f"gauge '{name}' is not a number: {value!r}",
+        )
+
+    for name, stat in body["stats"].items():
+        for field in ("count", "mean", "min", "max", "sum"):
+            require(field in stat, where, f"stat '{name}' missing '{field}'")
+
+    for name, hist in body["histograms"].items():
+        for field in ("lo", "hi", "total", "buckets"):
+            require(field in hist, where, f"histogram '{name}' missing '{field}'")
+        require(
+            isinstance(hist["buckets"], list),
+            where,
+            f"histogram '{name}' buckets is not a list",
+        )
+        require(
+            sum(hist["buckets"]) == hist["total"],
+            where,
+            f"histogram '{name}' bucket sum != total",
+        )
+
+    snaps = body["snapshots"]
+    for field in ("interval", "columns", "gauge_columns", "rows"):
+        require(field in snaps, where, f"snapshots missing '{field}'")
+    width = 1 + len(snaps["columns"]) + len(snaps["gauge_columns"])
+    for i, row in enumerate(snaps["rows"]):
+        require(
+            isinstance(row, list) and len(row) == width,
+            where,
+            f"snapshot row {i} has {len(row)} entries, expected {width}",
+        )
+
+    if "sim.requests" in counters:
+        outcomes = sum(counters.get(name, 0) for name in SIM_OUTCOMES)
+        require(
+            outcomes == counters["sim.requests"],
+            where,
+            f"sim outcome counters sum to {outcomes}, "
+            f"but sim.requests is {counters['sim.requests']}",
+        )
+
+
+def check_document(doc, path):
+    require(isinstance(doc, dict), path, "top level is not an object")
+    require(doc.get("schema") == SCHEMA, path, f"schema is not '{SCHEMA}'")
+    require(isinstance(doc.get("name"), str), path, "missing string 'name'")
+
+    if "runs" in doc:
+        for field in ("infinite_cache_size", "client_cache_capacity"):
+            require(field in doc, path, f"sweep document missing '{field}'")
+        require(isinstance(doc["runs"], list), path, "'runs' is not a list")
+        require(doc["runs"], path, "'runs' is empty")
+        for i, run in enumerate(doc["runs"]):
+            where = f"{path}: runs[{i}]"
+            for field in ("cache_percent", "scheme", "latency_gain_percent", "metrics"):
+                require(field in run, where, f"missing '{field}'")
+            check_metrics_body(run["metrics"], where)
+    else:
+        require("metrics" in doc, path, "missing 'metrics' (and no 'runs')")
+        check_metrics_body(doc["metrics"], path)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except OSError as err:
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as err:
+            print(f"error: {path} is not valid JSON: {err}", file=sys.stderr)
+            return 1
+        try:
+            check_document(doc, path)
+        except SchemaError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        kind = "sweep" if "runs" in doc else "single-run"
+        print(f"{path}: valid {SCHEMA} {kind} document")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,13 +7,19 @@ emit machine-readable reports:
     {"name": "...", "sections": {"label": seconds, ...},
      "requests_per_sec": {"scheme": rps, ...}}
 
-This script fails (exit 1) when any scheme's measured throughput drops below
-``--min-ratio`` times the baseline throughput, or when a scheme present in
-the baseline is missing from the current report. Sections are printed for
-context but not gated: absolute wall clock varies too much across machines,
-while the *ratio* of requests/sec on the same machine is a stable regression
-signal. The default band (0.5) is deliberately generous so only real
-hot-path regressions trip it, not scheduler noise.
+Exit codes:
+  0  every baseline scheme is present and within the throughput band
+  1  perf regression: a scheme's requests/sec dropped below ``--min-ratio``
+     times its baseline
+  2  report problem (distinct from a regression): a file is missing or not
+     valid JSON, the baseline has no requests_per_sec, or a scheme present
+     in the baseline is absent from the current report
+
+Sections are printed for context but not gated: absolute wall clock varies
+too much across machines, while the *ratio* of requests/sec on the same
+machine is a stable regression signal. The default band (0.5) is
+deliberately generous so only real hot-path regressions trip it, not
+scheduler noise.
 
 Usage:
     check_perf.py --baseline bench/baselines/BENCH_perf_smoke.json \
@@ -25,9 +31,16 @@ import json
 import sys
 
 
-def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        return json.load(f)
+def load(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as err:
+        print(f"error: cannot read {what} report {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as err:
+        print(f"error: {what} report {path} is not valid JSON: {err}", file=sys.stderr)
+        sys.exit(2)
 
 
 def main():
@@ -42,26 +55,40 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    baseline = load(args.baseline, "baseline")
+    current = load(args.current, "current")
 
     base_rps = baseline.get("requests_per_sec", {})
     cur_rps = current.get("requests_per_sec", {})
     if not base_rps:
         print(f"error: baseline {args.baseline} has no requests_per_sec", file=sys.stderr)
-        return 1
+        return 2
 
     for label, secs in current.get("sections", {}).items():
         base_secs = baseline.get("sections", {}).get(label)
         ref = f" (baseline {base_secs:.3f} s)" if base_secs is not None else ""
         print(f"section {label}: {secs:.3f} s{ref}")
 
+    # A scheme the baseline knows but the current run never measured is a
+    # broken/renamed bench, not a slow one — report it distinctly so CI logs
+    # don't read it as a perf regression.
+    missing = sorted(set(base_rps) - set(cur_rps))
+    if missing:
+        print(
+            f"error: scheme(s) present in baseline {args.baseline} but missing "
+            f"from current report {args.current}: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        print(
+            "(did the bench fail mid-run, or was a scheme renamed without "
+            "refreshing the baseline?)",
+            file=sys.stderr,
+        )
+        return 2
+
     failures = []
     for scheme, base in sorted(base_rps.items()):
-        cur = cur_rps.get(scheme)
-        if cur is None:
-            failures.append(f"{scheme}: missing from current report")
-            continue
+        cur = cur_rps[scheme]
         ratio = cur / base if base > 0 else float("inf")
         status = "ok" if ratio >= args.min_ratio else "REGRESSION"
         print(f"{scheme}: {cur:,.0f} req/s vs baseline {base:,.0f} "

@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/registry.hpp"
 
 namespace webcache::cache {
 
@@ -61,8 +63,40 @@ class Cache {
   /// Snapshot of cached objects in unspecified order (directories, tests).
   [[nodiscard]] virtual std::vector<ObjectNum> contents() const = 0;
 
+  /// Binds policy-level counters (`<prefix>hits`, `<prefix>insertions`,
+  /// `<prefix>evictions`, `<prefix>declined`) into `registry`. Multiple
+  /// caches may bind the same prefix to aggregate (e.g. the per-client
+  /// caches of one cluster). Unbound caches pay one null check per
+  /// operation.
+  void bind_observability(obs::Registry& registry, const std::string& prefix) {
+    obs_hits_ = &registry.counter(prefix + "hits");
+    obs_insertions_ = &registry.counter(prefix + "insertions");
+    obs_evictions_ = &registry.counter(prefix + "evictions");
+    obs_declined_ = &registry.counter(prefix + "declined");
+  }
+
  protected:
+  /// Policies call these from access()/insert(); no-ops until bound.
+  void obs_hit() {
+    if (obs_hits_ != nullptr) obs_hits_->inc();
+  }
+  void obs_inserted() {
+    if (obs_insertions_ != nullptr) obs_insertions_->inc();
+  }
+  void obs_evicted() {
+    if (obs_evictions_ != nullptr) obs_evictions_->inc();
+  }
+  void obs_declined() {
+    if (obs_declined_ != nullptr) obs_declined_->inc();
+  }
+
   std::size_t capacity_;
+
+ private:
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_insertions_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_declined_ = nullptr;
 };
 
 }  // namespace webcache::cache

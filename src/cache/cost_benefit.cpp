@@ -111,6 +111,7 @@ CostBenefitCache::~CostBenefitCache() {
 void CostBenefitCache::access(ObjectNum object, double /*cost*/) {
   assert(entries_.contains(object) && "CostBenefitCache::access: object not cached");
   (void)object;  // values are static under perfect frequency knowledge
+  obs_hit();
 }
 
 InsertResult CostBenefitCache::insert(ObjectNum object, double /*cost*/) {
@@ -124,15 +125,18 @@ InsertResult CostBenefitCache::insert(ObjectNum object, double /*cost*/) {
   if (entries_.size() >= capacity_) {
     const auto [victim_key, victim] = order_.top();
     if (new_value <= victim_key.first) {
+      obs_declined();
       return result;  // newcomer not worth evicting anything for
     }
     order_.pop();
     entries_.erase(victim);
     coordinator_.on_copy_removed(victim, this);
     result.evicted = victim;
+    obs_evicted();
   }
 
   result.inserted = true;
+  obs_inserted();
   const Entry e{new_value, ++seq_};
   entries_.emplace(object, e);
   order_.set(object, key_of(e));

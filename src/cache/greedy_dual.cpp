@@ -7,6 +7,7 @@ namespace webcache::cache {
 void GreedyDualCache::access(ObjectNum object, double cost) {
   const auto it = entries_.find(object);
   assert(it != entries_.end() && "GreedyDualCache::access: object not cached");
+  obs_hit();
   it->second.inflated_credit = cost + inflation_;
   it->second.seq = ++seq_;
   order_.set(object, key_of(it->second));
@@ -18,6 +19,7 @@ InsertResult GreedyDualCache::insert(ObjectNum object, double cost) {
 
   InsertResult result;
   result.inserted = true;
+  obs_inserted();
   if (entries_.size() >= capacity_) {
     const auto [victim_key, victim] = order_.top();
     // Deduct the minimum credit from everyone by raising the floor.
@@ -25,6 +27,7 @@ InsertResult GreedyDualCache::insert(ObjectNum object, double cost) {
     order_.pop();
     entries_.erase(victim);
     result.evicted = victim;
+    obs_evicted();
   }
   const Entry e{cost + inflation_, ++seq_};
   entries_.emplace(object, e);

@@ -7,6 +7,7 @@ namespace webcache::cache {
 void LfuCache::access(ObjectNum object, double /*cost*/) {
   const auto it = entries_.find(object);
   assert(it != entries_.end() && "LfuCache::access: object not cached");
+  obs_hit();
   ++it->second.freq;
   // LFU-DA re-keys from the current floor on every hit, so a re-warming
   // object immediately out-keys everything the aging has devalued.
@@ -28,7 +29,9 @@ InsertResult LfuCache::insert(ObjectNum object, double /*cost*/) {
 
   InsertResult result;
   result.inserted = true;
+  obs_inserted();
   if (entries_.size() >= capacity_) {
+    obs_evicted();
     const auto [victim_key, victim] = order_.top();
     if (mode_ == LfuMode::kDynamicAging) {
       // The victim's key becomes the new floor: everything still cached is

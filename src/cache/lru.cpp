@@ -7,6 +7,7 @@ namespace webcache::cache {
 void LruCache::access(ObjectNum object, double /*cost*/) {
   const auto it = index_.find(object);
   assert(it != index_.end() && "LruCache::access: object not cached");
+  obs_hit();
   order_.splice(order_.begin(), order_, it->second);
 }
 
@@ -15,11 +16,13 @@ InsertResult LruCache::insert(ObjectNum object, double /*cost*/) {
   if (capacity_ == 0) return {};
   InsertResult result;
   result.inserted = true;
+  obs_inserted();
   if (index_.size() >= capacity_) {
     const ObjectNum victim = order_.back();
     order_.pop_back();
     index_.erase(victim);
     result.evicted = victim;
+    obs_evicted();
   }
   order_.push_front(object);
   index_.emplace(object, order_.begin());

@@ -56,6 +56,8 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
   [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
 
   /// Value below which `q` (0..1) of the mass lies, linearly interpolated
   /// within the containing bucket.

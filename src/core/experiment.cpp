@@ -67,6 +67,22 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
   result.metrics.assign(num_sizes, std::vector<sim::Metrics>(num_schemes));
   result.baseline.assign(num_sizes, sim::Metrics{});
   result.gains.assign(num_sizes, std::vector<double>(num_schemes, 0.0));
+  if (config.collect_observability) {
+    // Pre-allocate one registry per run slot before the workers start; each
+    // registry is then populated by exactly one job and read only after the
+    // join, keeping both the threading race-free and the export
+    // byte-deterministic.
+    result.registries.assign(num_sizes, std::vector<std::shared_ptr<obs::Registry>>(num_schemes));
+    result.baseline_registries.assign(num_sizes, nullptr);
+    for (std::size_t i = 0; i < num_sizes; ++i) {
+      result.baseline_registries[i] = std::make_shared<obs::Registry>();
+      for (std::size_t k = 0; k < num_schemes; ++k) {
+        result.registries[i][k] = config.schemes[k] == sim::Scheme::kNC
+                                      ? result.baseline_registries[i]
+                                      : std::make_shared<obs::Registry>();
+      }
+    }
+  }
 
   // One trace analysis shared by every FC/FC-EC job. Without this, each of
   // those simulators re-scans the full trace in its constructor — ~2 extra
@@ -100,6 +116,11 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
     c.proxy_capacity =
         capacity_from_percent(config.cache_percents[size_index], result.infinite_cache_size);
     c.client_cache_capacity = result.client_cache_capacity;
+    // A shared registry across concurrent jobs would both race and conflate
+    // runs; each job gets its own pre-allocated slot (or a private one).
+    c.registry = nullptr;
+    c.snapshot_interval = config.collect_observability ? config.snapshot_interval : 0;
+    c.trace_capacity = 0;  // the event tracer is a single-run tool
     // Failure events only apply to schemes with addressable client caches.
     if (scheme != sim::Scheme::kHierGD && scheme != sim::Scheme::kSquirrel) {
       c.client_failures.clear();
@@ -115,7 +136,13 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
       const Job& job = jobs[j];
       const sim::Scheme scheme =
           job.scheme_index == num_schemes ? sim::Scheme::kNC : config.schemes[job.scheme_index];
-      const auto metrics = sim::run_simulation(make_config(job.size_index, scheme), trace);
+      auto job_config = make_config(job.size_index, scheme);
+      if (config.collect_observability) {
+        job_config.registry = job.scheme_index == num_schemes
+                                  ? result.baseline_registries[job.size_index]
+                                  : result.registries[job.size_index][job.scheme_index];
+      }
+      const auto metrics = sim::run_simulation(job_config, trace);
       if (job.scheme_index == num_schemes) {
         result.baseline[job.size_index] = metrics;
       } else {
@@ -184,12 +211,45 @@ void write_gain_csv(std::ostream& out, const SweepResult& result) {
   out.flush();
 }
 
+void write_metrics_json(std::ostream& out, const SweepResult& result,
+                        const std::string& name) {
+  if (result.registries.empty() || result.baseline_registries.empty()) {
+    throw std::logic_error(
+        "write_metrics_json: sweep was run without collect_observability");
+  }
+  out << "{\n  \"schema\": \"" << obs::kSchemaVersion << "\",\n  \"name\": \"" << name
+      << "\",\n  \"infinite_cache_size\": " << result.infinite_cache_size
+      << ",\n  \"client_cache_capacity\": " << result.client_cache_capacity
+      << ",\n  \"runs\": [\n";
+  bool first = true;
+  for (std::size_t i = 0; i < result.cache_percents.size(); ++i) {
+    for (std::size_t k = 0; k < result.schemes.size(); ++k) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"cache_percent\": " << obs::format_double(result.cache_percents[i])
+          << ", \"scheme\": \"" << sim::to_string(result.schemes[k])
+          << "\", \"latency_gain_percent\": " << obs::format_double(result.gains[i][k])
+          << ",\n     \"metrics\":\n";
+      result.registries[i][k]->write_json_body(out, 5);
+      out << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+}
+
 SingleRun run_single(const workload::Trace& trace, sim::SimConfig config) {
   SingleRun r;
+  if (!config.registry) config.registry = std::make_shared<obs::Registry>();
+  r.registry = config.registry;
   r.metrics = sim::run_simulation(config, trace);
   sim::SimConfig nc = config;
   nc.scheme = sim::Scheme::kNC;
   nc.client_failures.clear();  // NC has no addressable client caches
+  // The baseline must not pollute (or double-count into) the scheme run's
+  // registry; it accounts into a private one.
+  nc.registry = std::make_shared<obs::Registry>();
+  nc.trace_capacity = 0;
+  r.baseline_registry = nc.registry;
   r.baseline = config.scheme == sim::Scheme::kNC ? r.metrics : sim::run_simulation(nc, trace);
   r.gain_percent = 100.0 * sim::latency_gain(r.baseline, r.metrics);
   return r;

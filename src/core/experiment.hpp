@@ -5,9 +5,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace.hpp"
 
@@ -33,6 +35,15 @@ struct SweepConfig {
   /// Worker threads for the independent (size x scheme) runs; 0 = hardware
   /// concurrency.
   unsigned threads = 0;
+  /// Keep each run's obs::Registry in the result (SweepResult::registries /
+  /// baseline_registries) for write_metrics_json. Registries are
+  /// pre-allocated per job slot on the calling thread and each one is
+  /// populated by exactly one run, so their contents — and the exported
+  /// JSON — are identical for any thread count.
+  bool collect_observability = false;
+  /// Snapshot interval forwarded to every run (0 = off; only meaningful
+  /// with collect_observability).
+  std::uint64_t snapshot_interval = 0;
 };
 
 struct SweepResult {
@@ -46,6 +57,11 @@ struct SweepResult {
   std::vector<std::vector<double>> gains;
   ObjectNum infinite_cache_size = 0;
   std::size_t client_cache_capacity = 0;
+  /// Per-run registries, indexed like metrics/baseline. Empty unless
+  /// SweepConfig::collect_observability; for an NC scheme column the entry
+  /// aliases the baseline registry of the same cache size.
+  std::vector<std::vector<std::shared_ptr<obs::Registry>>> registries;
+  std::vector<std::shared_ptr<obs::Registry>> baseline_registries;
 };
 
 /// Runs the sweep. The NC baseline is always computed (reused when NC is in
@@ -60,12 +76,24 @@ void print_gain_table(std::ostream& out, const SweepResult& result, const std::s
 /// hit ratios per outcome. One row per (size, scheme).
 void write_gain_csv(std::ostream& out, const SweepResult& result);
 
+/// Full observability export of a sweep (schema "webcache-metrics/1"): one
+/// JSON document with a "runs" array holding, per (cache size, scheme), the
+/// latency gain plus that run's complete registry body. Requires the sweep
+/// to have been run with collect_observability; throws std::logic_error
+/// otherwise. Byte-identical output for any thread count.
+void write_metrics_json(std::ostream& out, const SweepResult& result,
+                        const std::string& name);
+
 /// Single-configuration convenience used by examples: runs `scheme` and NC
 /// at one cache size and returns (metrics, gain%).
 struct SingleRun {
   sim::Metrics metrics;
   sim::Metrics baseline;
   double gain_percent = 0.0;
+  /// The scheme run's registry (config.registry when supplied, else the one
+  /// created for the run) and the NC baseline's private registry.
+  std::shared_ptr<obs::Registry> registry;
+  std::shared_ptr<obs::Registry> baseline_registry;
 };
 [[nodiscard]] SingleRun run_single(const workload::Trace& trace, sim::SimConfig config);
 

@@ -7,8 +7,11 @@
 namespace webcache::directory {
 
 BloomDirectory::BloomDirectory(std::shared_ptr<const std::vector<Uint128>> object_ids,
-                               std::size_t expected_entries, double target_fpr)
-    : object_ids_(std::move(object_ids)), filter_(expected_entries, target_fpr) {
+                               std::size_t expected_entries, double target_fpr,
+                               obs::Registry* registry, const std::string& prefix)
+    : LookupDirectory(registry, prefix),
+      object_ids_(std::move(object_ids)),
+      filter_(expected_entries, target_fpr) {
   if (!object_ids_) {
     throw std::invalid_argument("BloomDirectory: object id table required");
   }
@@ -24,15 +27,19 @@ const Uint128& BloomDirectory::id_of(ObjectNum object) const {
 void BloomDirectory::add(ObjectNum object) {
   filter_.insert(id_of(object));
   ++entries_;
+  note_add();
 }
 
 void BloomDirectory::remove(ObjectNum object) {
   filter_.erase(id_of(object));
   if (entries_ > 0) --entries_;
+  note_remove();
 }
 
 bool BloomDirectory::may_contain(ObjectNum object) const {
-  return filter_.may_contain(id_of(object));
+  const bool positive = filter_.may_contain(id_of(object));
+  note_lookup(positive);
+  return positive;
 }
 
 std::shared_ptr<const std::vector<Uint128>> build_object_id_table(ObjectNum distinct_objects) {

@@ -20,11 +20,25 @@
 #include "bloom/counting_bloom.hpp"
 #include "common/types.hpp"
 #include "common/uint128.hpp"
+#include "obs/registry.hpp"
 
 namespace webcache::directory {
 
 class LookupDirectory {
  public:
+  /// `registry` (optional) receives the directory's maintenance/query
+  /// counters (`<prefix>adds`, `<prefix>removes`, `<prefix>lookups`,
+  /// `<prefix>positives`); without one the directory keeps a private
+  /// registry, so standalone use needs no wiring.
+  explicit LookupDirectory(obs::Registry* registry = nullptr,
+                           const std::string& prefix = "dir.")
+      : c_adds_(obs::ensure_registry(registry, owned_registry_).counter(prefix + "adds")),
+        c_removes_(
+            obs::ensure_registry(registry, owned_registry_).counter(prefix + "removes")),
+        c_lookups_(
+            obs::ensure_registry(registry, owned_registry_).counter(prefix + "lookups")),
+        c_positives_(
+            obs::ensure_registry(registry, owned_registry_).counter(prefix + "positives")) {}
   virtual ~LookupDirectory() = default;
 
   /// Registers a store receipt: `object` is now in the P2P client cache.
@@ -40,15 +54,43 @@ class LookupDirectory {
   [[nodiscard]] virtual std::size_t entry_count() const = 0;
   [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
   [[nodiscard]] virtual std::string kind() const = 0;
+
+ protected:
+  // Instrumentation hooks for the implementations. note_lookup is const
+  // because may_contain is; the counters live in the registry, not in the
+  // directory's logical state.
+  void note_add() { c_adds_.inc(); }
+  void note_remove() { c_removes_.inc(); }
+  void note_lookup(bool positive) const {
+    c_lookups_.inc();
+    if (positive) c_positives_.inc();
+  }
+
+ private:
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Counter& c_adds_;
+  obs::Counter& c_removes_;
+  obs::Counter& c_lookups_;
+  obs::Counter& c_positives_;
 };
 
 /// Hashtable of the objectIds cached in the P2P client cache.
 class ExactDirectory final : public LookupDirectory {
  public:
-  void add(ObjectNum object) override { entries_.insert(object); }
-  void remove(ObjectNum object) override { entries_.erase(object); }
+  using LookupDirectory::LookupDirectory;
+
+  void add(ObjectNum object) override {
+    entries_.insert(object);
+    note_add();
+  }
+  void remove(ObjectNum object) override {
+    entries_.erase(object);
+    note_remove();
+  }
   [[nodiscard]] bool may_contain(ObjectNum object) const override {
-    return entries_.contains(object);
+    const bool positive = entries_.contains(object);
+    note_lookup(positive);
+    return positive;
   }
   [[nodiscard]] std::size_t entry_count() const override { return entries_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override {
@@ -68,7 +110,8 @@ class BloomDirectory final : public LookupDirectory {
   /// `object_ids[o]` is the 128-bit objectId of dense object o (shared,
   /// not owned); `expected_entries`/`target_fpr` size the filter.
   BloomDirectory(std::shared_ptr<const std::vector<Uint128>> object_ids,
-                 std::size_t expected_entries, double target_fpr);
+                 std::size_t expected_entries, double target_fpr,
+                 obs::Registry* registry = nullptr, const std::string& prefix = "dir.");
 
   void add(ObjectNum object) override;
   void remove(ObjectNum object) override;

@@ -6,6 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
 
 namespace webcache::net {
 
@@ -54,6 +57,34 @@ struct MessageStats {
   [[nodiscard]] std::uint64_t destage_messages_without_piggyback() const {
     return destage_piggybacked + destage_dedicated;
   }
+};
+
+/// Registry-backed handles for the MessageStats fields. Components that
+/// account protocol messages (the simulator, P2PClientCache) bind one of
+/// these against an obs::Registry with a naming prefix (e.g. "net.",
+/// "cluster0.net.") and increment the counters directly; `view()` rebuilds
+/// the legacy MessageStats struct from the registry, so the struct is a
+/// read-time view rather than parallel bookkeeping.
+class MessageCounters {
+ public:
+  MessageCounters(obs::Registry& registry, const std::string& prefix);
+
+  obs::Counter& destage_piggybacked;
+  obs::Counter& destage_dedicated;
+  obs::Counter& destage_bytes;
+  obs::Counter& pastry_forward_messages;
+  obs::Counter& diversions;
+  obs::Counter& diversion_pointer_lookups;
+  obs::Counter& store_receipts;
+  obs::Counter& directory_adds;
+  obs::Counter& directory_removes;
+  obs::Counter& push_requests;
+  obs::Counter& push_transfers;
+  obs::Counter& directory_false_positives;
+  obs::Counter& directory_true_positives;
+
+  [[nodiscard]] MessageStats view() const;
+  void reset();
 };
 
 }  // namespace webcache::net

@@ -30,8 +30,13 @@ std::size_t client_capacity(const P2PConfig& config, ClientNum index) {
 }
 
 P2PClientCache::P2PClientCache(P2PConfig config,
-                               std::shared_ptr<const std::vector<Uint128>> object_ids)
-    : config_(std::move(config)), object_ids_(std::move(object_ids)), overlay_(config_.overlay) {
+                               std::shared_ptr<const std::vector<Uint128>> object_ids,
+                               obs::Registry* registry)
+    : config_(std::move(config)),
+      object_ids_(std::move(object_ids)),
+      overlay_(config_.overlay, &obs::ensure_registry(registry, owned_registry_),
+               config_.name_prefix + ".pastry."),
+      msg_(obs::ensure_registry(registry, owned_registry_), config_.name_prefix + ".net.") {
   if (config_.clients == 0) {
     throw std::invalid_argument("P2PClientCache: need at least one client");
   }
@@ -39,11 +44,16 @@ P2PClientCache::P2PClientCache(P2PConfig config,
     throw std::invalid_argument("P2PClientCache: object id table required");
   }
 
+  obs::Registry& reg = obs::ensure_registry(registry, owned_registry_);
+  const std::string cache_prefix = config_.name_prefix + ".client_cache.";
   nodes_.reserve(config_.clients);
   for (ClientNum c = 0; c < config_.clients; ++c) {
     ClientNode node;
     node.id = pastry::node_id_for(config_.name_prefix + "/client" + std::to_string(c));
     node.cache = std::make_unique<cache::GreedyDualCache>(client_capacity(config_, c));
+    // Every client cache binds to the same cluster-wide prefix, so the
+    // counters aggregate across the whole P2P client cache.
+    node.cache->bind_observability(reg, cache_prefix);
     overlay_.add_node(node.id);
     node_index_.emplace(node.id, nodes_.size());
     nodes_.push_back(std::move(node));
@@ -117,7 +127,7 @@ StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_
   // Route the piggybacked object from the carrying client to the root.
   const auto route = overlay_.route(nodes_[via_client].id, id_of(object));
   outcome.hops = route.hops;
-  messages_.pastry_forward_messages += route.hops;
+  msg_.pastry_forward_messages.inc(route.hops);
 
   const std::size_t root_idx = index_of(route.destination);
   ClientNode& root = nodes_[root_idx];
@@ -129,7 +139,7 @@ StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_
     assert(!ins.evicted.has_value());
     location_[object] = root_idx;
     outcome.stored = true;
-    ++messages_.store_receipts;
+    msg_.store_receipts.inc();
     return outcome;
   }
 
@@ -152,9 +162,9 @@ StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_
           outcome.stored = true;
           outcome.diverted = true;
           outcome.hops += 1;  // root -> peer transfer
-          ++messages_.diversions;
-          ++messages_.pastry_forward_messages;
-          ++messages_.store_receipts;
+          msg_.diversions.inc();
+          msg_.pastry_forward_messages.inc();
+          msg_.store_receipts.inc();
           return true;
         });
     if (diverted) return outcome;
@@ -169,7 +179,7 @@ StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_
   }
   location_[object] = root_idx;
   outcome.stored = true;
-  ++messages_.store_receipts;
+  msg_.store_receipts.inc();
   return outcome;
 }
 
@@ -181,7 +191,7 @@ FetchOutcome P2PClientCache::fetch(ObjectNum object, ClientNum via_client, bool 
 
   const auto route = overlay_.route(nodes_[via_client].id, id_of(object));
   outcome.hops = route.hops;
-  messages_.pastry_forward_messages += route.hops;
+  msg_.pastry_forward_messages.inc(route.hops);
 
   const std::size_t root_idx = index_of(route.destination);
   ClientNode& root = nodes_[root_idx];
@@ -198,8 +208,8 @@ FetchOutcome P2PClientCache::fetch(ObjectNum object, ClientNum via_client, bool 
     }
     outcome.via_diversion_pointer = true;
     outcome.hops += 1;
-    ++messages_.diversion_pointer_lookups;
-    ++messages_.pastry_forward_messages;
+    msg_.diversion_pointer_lookups.inc();
+    msg_.pastry_forward_messages.inc();
   }
 
   outcome.hit = true;

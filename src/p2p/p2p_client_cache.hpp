@@ -15,8 +15,9 @@
 // here ("promote"): the proxy now holds it and will destage it again on
 // eviction, so keeping a second copy below would only waste client space.
 //
-// The class accounts overlay messages, diversions, receipts and hops in a
-// net::MessageStats, which the ablation benches report.
+// The class accounts overlay messages, diversions, receipts and hops as
+// obs::Registry counters (prefix "<name_prefix>.net."); messages() exposes
+// them as the net::MessageStats view the ablation benches report.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +31,7 @@
 #include "common/types.hpp"
 #include "common/uint128.hpp"
 #include "net/message_stats.hpp"
+#include "obs/registry.hpp"
 #include "pastry/overlay.hpp"
 
 namespace webcache::p2p {
@@ -84,7 +86,13 @@ struct FetchOutcome {
 class P2PClientCache {
  public:
   /// `object_ids[o]` must hold SHA-1(URL of o); shared with the directories.
-  P2PClientCache(P2PConfig config, std::shared_ptr<const std::vector<Uint128>> object_ids);
+  /// `registry` (optional) receives the message counters
+  /// (`<name_prefix>.net.*`), the overlay instruments
+  /// (`<name_prefix>.pastry.*`) and the aggregated client-cache counters
+  /// (`<name_prefix>.client_cache.*`); without one the cluster keeps a
+  /// private registry, so standalone use needs no wiring.
+  P2PClientCache(P2PConfig config, std::shared_ptr<const std::vector<Uint128>> object_ids,
+                 obs::Registry* registry = nullptr);
 
   /// Destages `object` (evicted by the proxy) into the cluster, routing from
   /// `via_client` (the client whose HTTP response carried the piggybacked
@@ -115,8 +123,9 @@ class P2PClientCache {
   /// Runs the overlay's periodic repair.
   void repair() { overlay_.repair_all(); }
 
-  [[nodiscard]] const net::MessageStats& messages() const { return messages_; }
-  void reset_messages() { messages_ = {}; }
+  /// Message-traffic view, rebuilt from the registry counters on each call.
+  [[nodiscard]] net::MessageStats messages() const { return msg_.view(); }
+  void reset_messages() { msg_.reset(); }
 
   [[nodiscard]] const pastry::Overlay& overlay() const { return overlay_; }
   [[nodiscard]] const P2PConfig& config() const { return config_; }
@@ -151,12 +160,15 @@ class P2PClientCache {
 
   P2PConfig config_;
   std::shared_ptr<const std::vector<Uint128>> object_ids_;
+  /// Fallback registry when none was supplied (declared before the members
+  /// that bind counters out of it).
+  std::unique_ptr<obs::Registry> owned_registry_;
   pastry::Overlay overlay_;
   std::vector<ClientNode> nodes_;
   std::unordered_map<pastry::NodeId, std::size_t, Uint128Hash> node_index_;
   /// object -> index of the node physically storing it.
   std::unordered_map<ObjectNum, std::size_t> location_;
-  net::MessageStats messages_;
+  net::MessageCounters msg_;
 };
 
 }  // namespace webcache::p2p

@@ -22,7 +22,8 @@ Coordinates default_coordinates(const NodeId& id) {
                      static_cast<double>(b) / 4294967296.0};
 }
 
-Overlay::Overlay(OverlayConfig config) : config_(config) {
+Overlay::Overlay(OverlayConfig config, obs::Registry* registry, const std::string& prefix)
+    : config_(config), counters_(obs::ensure_registry(registry, owned_registry_), prefix) {
   // Validate eagerly via throwaway component construction.
   RoutingTable probe_table(NodeId{}, config_.bits_per_digit);
   LeafSet probe_leaves(NodeId{}, config_.leaf_set_size);
@@ -216,7 +217,7 @@ void Overlay::remove_node(const NodeId& id) {
         slot && other.table.entry(slot->first, slot->second) == std::optional<NodeId>(id)) {
       other.table.erase(id);
       refill_slot(other, slot->first, slot->second);
-      ++stats_.repairs;
+      counters_.repairs.inc();
     }
   }
 }
@@ -243,7 +244,7 @@ void Overlay::repair_all() {
     }
     if (leaf_dirty) {
       rebuild_leaf_set(node);
-      ++stats_.repairs;
+      counters_.repairs.inc();
     }
     for (unsigned row = 0; row < node.table.rows(); ++row) {
       for (unsigned col = 0; col < node.table.columns(); ++col) {
@@ -251,7 +252,7 @@ void Overlay::repair_all() {
         if (e && !ring_.contains(*e)) {
           node.table.erase(*e);
           refill_slot(node, row, col);
-          ++stats_.repairs;
+          counters_.repairs.inc();
         }
       }
     }
@@ -262,14 +263,14 @@ void Overlay::repair_all() {
 }
 
 void Overlay::on_dead_reference(NodeState& holder, const NodeId& dead) {
-  ++stats_.dead_hop_detections;
+  counters_.dead_hop_detections.inc();
   const auto slot = holder.table.slot_of(dead);
   holder.table.erase(dead);
   const bool was_leaf = holder.leaves.erase(dead);
   if (config_.repair_on_detect) {
     if (was_leaf) rebuild_leaf_set(holder);
     if (slot) refill_slot(holder, slot->first, slot->second);
-    ++stats_.repairs;
+    counters_.repairs.inc();
   }
 }
 
@@ -362,11 +363,12 @@ RouteResult Overlay::route(const NodeId& from, const Uint128& key) {
     }
     if (best == current) break;  // best effort delivery at a local optimum
     forward(best);
-    ++stats_.fallback_hops;
+    counters_.fallback_hops.inc();
   }
 
-  ++stats_.messages_routed;
-  stats_.total_hops += hops;
+  counters_.messages_routed.inc();
+  counters_.total_hops.inc(hops);
+  counters_.hops.add(static_cast<double>(hops));
   return RouteResult{current, hops, current == root_of(key), travelled};
 }
 

@@ -17,10 +17,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "pastry/leaf_set.hpp"
 #include "pastry/node_id.hpp"
 #include "pastry/routing_table.hpp"
@@ -70,7 +73,8 @@ struct RouteResult {
   double distance = 0.0;
 };
 
-/// Cumulative overlay health/activity counters.
+/// Cumulative overlay health/activity counters. A read-time view over the
+/// overlay's obs::Registry instruments (see Overlay::stats()).
 struct OverlayStats {
   std::uint64_t messages_routed = 0;
   std::uint64_t total_hops = 0;
@@ -81,7 +85,11 @@ struct OverlayStats {
 
 class Overlay {
  public:
-  explicit Overlay(OverlayConfig config = {});
+  /// `registry` (optional) receives the overlay's counters and the per-route
+  /// hop histogram under `prefix`; without one the overlay keeps a private
+  /// registry, so standalone use needs no wiring.
+  explicit Overlay(OverlayConfig config = {}, obs::Registry* registry = nullptr,
+                   const std::string& prefix = "pastry.");
 
   const OverlayConfig& config() const { return config_; }
 
@@ -123,8 +131,23 @@ class Overlay {
   [[nodiscard]] const LeafSet& leaf_set(const NodeId& id) const;
   [[nodiscard]] const RoutingTable& routing_table(const NodeId& id) const;
 
-  [[nodiscard]] const OverlayStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Counter view, rebuilt from the registry on each call.
+  [[nodiscard]] OverlayStats stats() const {
+    OverlayStats s;
+    s.messages_routed = counters_.messages_routed.value();
+    s.total_hops = counters_.total_hops.value();
+    s.dead_hop_detections = counters_.dead_hop_detections.value();
+    s.fallback_hops = counters_.fallback_hops.value();
+    s.repairs = counters_.repairs.value();
+    return s;
+  }
+  void reset_stats() {
+    counters_.messages_routed.reset();
+    counters_.total_hops.reset();
+    counters_.dead_hop_detections.reset();
+    counters_.fallback_hops.reset();
+    counters_.repairs.reset();
+  }
 
   /// All live node ids in ring order (ascending id).
   [[nodiscard]] std::vector<NodeId> nodes() const;
@@ -133,6 +156,22 @@ class Overlay {
   [[nodiscard]] unsigned expected_hop_bound() const;
 
  private:
+  struct Counters {
+    Counters(obs::Registry& registry, const std::string& prefix)
+        : messages_routed(registry.counter(prefix + "messages_routed")),
+          total_hops(registry.counter(prefix + "total_hops")),
+          dead_hop_detections(registry.counter(prefix + "dead_hop_detections")),
+          fallback_hops(registry.counter(prefix + "fallback_hops")),
+          repairs(registry.counter(prefix + "repairs")),
+          hops(registry.histogram(prefix + "hops", 0.0, 16.0, 16)) {}
+    obs::Counter& messages_routed;
+    obs::Counter& total_hops;
+    obs::Counter& dead_hop_detections;
+    obs::Counter& fallback_hops;
+    obs::Counter& repairs;
+    Histogram& hops;  ///< per-route hop distribution (webcache::Histogram)
+  };
+
   struct NodeState {
     NodeState(const NodeId& id, const OverlayConfig& cfg, const Coordinates& where)
         : table(id, cfg.bits_per_digit), leaves(id, cfg.leaf_set_size), coords(where) {}
@@ -179,7 +218,10 @@ class Overlay {
   /// departures keep all state fresh), so route() skips every per-member
   /// liveness probe — the dominant cost of a hop.
   bool stale_possible_ = false;
-  OverlayStats stats_;
+  /// Fallback registry when none was supplied (declared before counters_ so
+  /// the counter references outlive nothing).
+  std::unique_ptr<obs::Registry> owned_registry_;
+  Counters counters_;
 };
 
 }  // namespace webcache::pastry

@@ -1,6 +1,12 @@
 // Simulation metrics: where requests were served from, the latency they
 // observed, protocol message counts, and the paper's headline metric —
 // latency gain relative to NC.
+//
+// Since the observability refactor this struct is a *view*: the simulator
+// keeps its bookkeeping in obs::Registry instruments ("sim.*" counters and
+// gauges, "net.*" + "clusterN.net.*" message counters) and materializes a
+// Metrics from them (Simulator::metrics_view). The struct remains the
+// stable value type the sweeps, benches and tests consume.
 #pragma once
 
 #include <cstdint>

@@ -8,8 +8,33 @@ namespace webcache::sim {
 
 using net::ServedFrom;
 
+Simulator::Instruments::Instruments(obs::Registry& registry,
+                                    const net::LatencyModel& latencies)
+    : requests(registry.counter("sim.requests")),
+      hits_browser(registry.counter("sim.hits_browser")),
+      hits_local_proxy(registry.counter("sim.hits_local_proxy")),
+      hits_local_p2p(registry.counter("sim.hits_local_p2p")),
+      hits_remote_proxy(registry.counter("sim.hits_remote_proxy")),
+      hits_remote_p2p(registry.counter("sim.hits_remote_p2p")),
+      server_fetches(registry.counter("sim.server_fetches")),
+      total_latency(registry.gauge("sim.total_latency")),
+      wasted_p2p_latency(registry.gauge("sim.wasted_p2p_latency")),
+      p2p_hop_latency_total(registry.gauge("sim.p2p_hop_latency_total")),
+      p2p_hops(registry.stat("sim.p2p_hops")),
+      // A request costs at most ~Ts plus waste surcharges; 4*Ts with 40
+      // buckets resolves the Tl/Tc/Tp2p/Ts levels cleanly.
+      latency_hist(registry.histogram("sim.request_latency", 0.0,
+                                      4.0 * latencies.server(), 40)),
+      hops_hist(registry.histogram("sim.p2p_hops", 0.0, 16.0, 16)) {}
+
 Simulator::Simulator(SimConfig config, const workload::Trace& trace)
-    : config_(config), trace_(trace) {
+    : config_(std::move(config)),
+      trace_(trace),
+      registry_(config_.registry ? config_.registry : std::make_shared<obs::Registry>()),
+      inst_(*registry_, config_.latencies),
+      msg_(*registry_, "net.") {
+  registry_->set_snapshot_interval(config_.snapshot_interval);
+  if (config_.trace_capacity > 0) registry_->enable_tracing(config_.trace_capacity);
   if (config_.num_proxies == 0) {
     throw std::invalid_argument("Simulator: need at least one proxy");
   }
@@ -67,6 +92,8 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
   proxies_.resize(config_.num_proxies);
   for (unsigned p = 0; p < config_.num_proxies; ++p) {
     Proxy& proxy = proxies_[p];
+    const std::string proxy_prefix = "proxy" + std::to_string(p) + ".";
+    const std::string cluster_prefix = "cluster" + std::to_string(p) + ".";
     if (config_.browser_cache_capacity > 0) {
       proxy.browsers.reserve(config_.clients_per_cluster);
       for (ClientNum c = 0; c < config_.clients_per_cluster; ++c) {
@@ -79,16 +106,19 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
       case Scheme::kSC:
         proxy.cache =
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode);
+        proxy.cache->bind_observability(*registry_, proxy_prefix + "cache.");
         break;
       case Scheme::kFC:
         proxy.cache =
             std::make_unique<cache::CostBenefitCache>(config_.proxy_capacity, *coordinator_);
+        proxy.cache->bind_observability(*registry_, proxy_prefix + "cache.");
         break;
       case Scheme::kNC_EC:
       case Scheme::kSC_EC:
         proxy.tiered = std::make_unique<TieredCache>(
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode),
             std::make_unique<cache::LfuCache>(p2p_capacity, config_.lfu_mode));
+        proxy.tiered->bind_observability(*registry_, proxy_prefix + "tiered.");
         if (residency_enabled_) {
           proxy.tiered->set_transition_hook(
               [this, p](ObjectNum object, TieredCache::Where now) {
@@ -112,6 +142,7 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
       case Scheme::kFC_EC:
         proxy.unified = std::make_unique<cache::CostBenefitCache>(
             config_.proxy_capacity + p2p_capacity, *coordinator_);
+        proxy.unified->bind_observability(*registry_, proxy_prefix + "cache.");
         proxy.tier_tracker = std::make_unique<cache::LruCache>(config_.proxy_capacity);
         break;
       case Scheme::kHierGD: {
@@ -134,12 +165,15 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
         pc.overlay = config_.overlay;
         pc.enable_diversion = config_.enable_diversion;
         pc.name_prefix = "cluster" + std::to_string(p);
-        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_);
+        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, registry_.get());
+        proxy.gd->bind_observability(*registry_, proxy_prefix + "cache.");
         if (config_.directory == DirectoryKind::kExact) {
-          proxy.dir = std::make_unique<directory::ExactDirectory>();
+          proxy.dir = std::make_unique<directory::ExactDirectory>(registry_.get(),
+                                                                  cluster_prefix + "dir.");
         } else {
           proxy.dir = std::make_unique<directory::BloomDirectory>(
-              object_ids_, p2p_capacity, config_.bloom_target_fpr);
+              object_ids_, p2p_capacity, config_.bloom_target_fpr, registry_.get(),
+              cluster_prefix + "dir.");
         }
         break;
       }
@@ -153,7 +187,7 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
         pc.overlay = config_.overlay;
         pc.enable_diversion = config_.enable_diversion;
         pc.name_prefix = "org" + std::to_string(p);
-        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_);
+        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, registry_.get());
         break;
       }
     }
@@ -196,19 +230,31 @@ ClientNum Simulator::client_of(const Request& request, const Proxy& proxy) const
 }
 
 void Simulator::account(ServedFrom where, double wasted_latency, double hop_latency) {
-  ++metrics_.requests;
+  account_raw(where,
+              config_.latencies.request_latency(where) + wasted_latency + hop_latency,
+              wasted_latency, hop_latency);
+}
+
+void Simulator::account_raw(ServedFrom where, double latency, double wasted_latency,
+                            double hop_latency) {
+  inst_.requests.inc();
   switch (where) {
-    case ServedFrom::kBrowser: ++metrics_.hits_browser; break;
-    case ServedFrom::kLocalProxy: ++metrics_.hits_local_proxy; break;
-    case ServedFrom::kLocalP2P: ++metrics_.hits_local_p2p; break;
-    case ServedFrom::kRemoteProxy: ++metrics_.hits_remote_proxy; break;
-    case ServedFrom::kRemoteP2P: ++metrics_.hits_remote_p2p; break;
-    case ServedFrom::kOriginServer: ++metrics_.server_fetches; break;
+    case ServedFrom::kBrowser: inst_.hits_browser.inc(); break;
+    case ServedFrom::kLocalProxy: inst_.hits_local_proxy.inc(); break;
+    case ServedFrom::kLocalP2P: inst_.hits_local_p2p.inc(); break;
+    case ServedFrom::kRemoteProxy: inst_.hits_remote_proxy.inc(); break;
+    case ServedFrom::kRemoteP2P: inst_.hits_remote_p2p.inc(); break;
+    case ServedFrom::kOriginServer: inst_.server_fetches.inc(); break;
   }
-  metrics_.total_latency +=
-      config_.latencies.request_latency(where) + wasted_latency + hop_latency;
-  metrics_.wasted_p2p_latency += wasted_latency;
-  metrics_.p2p_hop_latency_total += hop_latency;
+  inst_.total_latency.add(latency);
+  inst_.wasted_p2p_latency.add(wasted_latency);
+  inst_.p2p_hop_latency_total.add(hop_latency);
+  inst_.latency_hist.add(latency);
+  // Optional layers: the tracer records the request-level event, tick()
+  // advances the snapshot clock. Both compile to nothing under
+  // WEBCACHE_OBS_NO_TRACE and cost one predictable branch otherwise.
+  registry_->record(now_, static_cast<std::uint32_t>(where), latency, wasted_latency);
+  registry_->tick();
 }
 
 bool Simulator::browser_lookup(const Request& request, unsigned proxy_index) {
@@ -251,18 +297,36 @@ Metrics Simulator::run() {
 
   for (std::size_t t = 0; t < trace_.requests.size(); ++t) {
     if (next_failure_ < pending_failures_.size()) apply_failures(t);
+    now_ = t;
     const auto& request = trace_.requests[t];
     const auto proxy_index = static_cast<unsigned>(t % config_.num_proxies);
     if (browser_lookup(request, proxy_index)) continue;
     step(request, proxy_index);
     browser_fill(request, proxy_index);
   }
+  return metrics_view();
+}
 
-  // Fold protocol message counters from the P2P substrates.
+Metrics Simulator::metrics_view() const {
+  Metrics m;
+  m.requests = inst_.requests.value();
+  m.hits_browser = inst_.hits_browser.value();
+  m.hits_local_proxy = inst_.hits_local_proxy.value();
+  m.hits_local_p2p = inst_.hits_local_p2p.value();
+  m.hits_remote_proxy = inst_.hits_remote_proxy.value();
+  m.hits_remote_p2p = inst_.hits_remote_p2p.value();
+  m.server_fetches = inst_.server_fetches.value();
+  m.total_latency = inst_.total_latency.value();
+  m.wasted_p2p_latency = inst_.wasted_p2p_latency.value();
+  m.p2p_hop_latency_total = inst_.p2p_hop_latency_total.value();
+  m.p2p_hops = inst_.p2p_hops;
+  // Simulator-level protocol messages plus each cluster's P2P substrate
+  // traffic; the increment sets are disjoint, so the merge is a plain sum.
+  m.messages = msg_.view();
   for (const auto& proxy : proxies_) {
-    if (proxy.p2p) metrics_.messages.merge(proxy.p2p->messages());
+    if (proxy.p2p) m.messages.merge(proxy.p2p->messages());
   }
-  return metrics_;
+  return m;
 }
 
 void Simulator::step(const Request& request, unsigned proxy_index) {
@@ -387,8 +451,8 @@ void Simulator::step_tiered_ec(const Request& request, unsigned proxy_index) {
       // up through its own proxy.
       tier2_holder->tiered->refresh(object, refetch);
       served = ServedFrom::kRemoteP2P;
-      ++metrics_.messages.push_requests;
-      ++metrics_.messages.push_transfers;
+      msg_.push_requests.inc();
+      msg_.push_transfers.inc();
     }
   }
 
@@ -459,8 +523,8 @@ void Simulator::step_fc_ec(const Request& request, unsigned proxy_index) {
   if (served == ServedFrom::kOriginServer && tier2_holder != nullptr) {
     tier2_holder->unified->access(object, 0.0);
     served = ServedFrom::kRemoteP2P;
-    ++metrics_.messages.push_requests;
-    ++metrics_.messages.push_transfers;
+    msg_.push_requests.inc();
+    msg_.push_transfers.inc();
   }
 
   const auto ins = local.unified->insert(object, config_.latencies.fetch_cost(served));
@@ -482,23 +546,24 @@ void Simulator::step_fc_ec(const Request& request, unsigned proxy_index) {
 
 void Simulator::destage_hier_gd(Proxy& proxy, ObjectNum victim, ClientNum via_client) {
   // Piggybacked on the HTTP response already going to via_client (Sec. 4.4).
-  ++metrics_.messages.destage_piggybacked;
-  metrics_.messages.destage_bytes += 1;  // unit-size objects
+  msg_.destage_piggybacked.inc();
+  msg_.destage_bytes.inc();  // unit-size objects
 
   const auto cost_it = proxy.fetch_cost.find(victim);
   const double credit = cost_it != proxy.fetch_cost.end()
                             ? cost_it->second
                             : config_.latencies.fetch_cost(ServedFrom::kOriginServer);
   const auto outcome = proxy.p2p->store(victim, credit, via_client);
-  metrics_.p2p_hops.add(static_cast<double>(outcome.hops));
+  inst_.p2p_hops.add(static_cast<double>(outcome.hops));
+  inst_.hops_hist.add(static_cast<double>(outcome.hops));
 
   if (outcome.stored && !outcome.already_present) {
     proxy.dir->add(victim);
-    ++metrics_.messages.directory_adds;
+    msg_.directory_adds.inc();
   }
   if (outcome.displaced) {
     proxy.dir->remove(*outcome.displaced);
-    ++metrics_.messages.directory_removes;
+    msg_.directory_removes.inc();
   }
 }
 
@@ -537,12 +602,13 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
   // Local P2P client cache, gated by the lookup directory.
   if (local.dir->may_contain(object)) {
     const auto fetched = local.p2p->fetch(object, client, /*remove_on_hit=*/true);
-    metrics_.p2p_hops.add(static_cast<double>(fetched.hops));
+    inst_.p2p_hops.add(static_cast<double>(fetched.hops));
+  inst_.hops_hist.add(static_cast<double>(fetched.hops));
     hop_latency += config_.p2p_hop_latency * fetched.hops;
     if (fetched.hit) {
-      ++metrics_.messages.directory_true_positives;
+      msg_.directory_true_positives.inc();
       local.dir->remove(object);
-      ++metrics_.messages.directory_removes;
+      msg_.directory_removes.inc();
       // Promote into the proxy; the proxy's eviction destages back down.
       admit_hier_gd(proxy_index, object,
                     config_.latencies.fetch_cost(ServedFrom::kLocalP2P), client);
@@ -551,7 +617,7 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
     }
     // False positive (Bloom directory, or staleness after client failures):
     // the overlay round trip was wasted.
-    ++metrics_.messages.directory_false_positives;
+    msg_.directory_false_positives.inc();
     waste += config_.latencies.p2p_fetch();
     // An exact directory learns the truth from the failed lookup. A
     // counting-Bloom directory must NOT erase a key it never inserted —
@@ -607,16 +673,17 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
   }
 
   if (served == ServedFrom::kOriginServer && push_holder != nullptr) {
-    ++metrics_.messages.push_requests;
+    msg_.push_requests.inc();
     const auto fetched = push_holder->p2p->fetch(object, push_client, /*remove_on_hit=*/false);
-    metrics_.p2p_hops.add(static_cast<double>(fetched.hops));
+    inst_.p2p_hops.add(static_cast<double>(fetched.hops));
+  inst_.hops_hist.add(static_cast<double>(fetched.hops));
     hop_latency += config_.p2p_hop_latency * fetched.hops;
     if (fetched.hit) {
-      ++metrics_.messages.push_transfers;
-      ++metrics_.messages.directory_true_positives;
+      msg_.push_transfers.inc();
+      msg_.directory_true_positives.inc();
       served = ServedFrom::kRemoteP2P;
     } else {
-      ++metrics_.messages.directory_false_positives;
+      msg_.directory_false_positives.inc();
       waste += config_.latencies.proxy_to_proxy() + config_.latencies.p2p_fetch();
       if (config_.directory == DirectoryKind::kExact) push_holder->dir->remove(object);
     }
@@ -637,19 +704,18 @@ void Simulator::step_squirrel(const Request& request, unsigned proxy_index) {
   // hit serves at LAN cost; on a miss the home node fetches from the origin
   // server, caches the object (home-store model) and forwards it.
   const auto fetched = org.p2p->fetch(object, client, /*remove_on_hit=*/false);
-  metrics_.p2p_hops.add(static_cast<double>(fetched.hops));
+  inst_.p2p_hops.add(static_cast<double>(fetched.hops));
+  inst_.hops_hist.add(static_cast<double>(fetched.hops));
   const double hop_latency = config_.p2p_hop_latency * fetched.hops;
 
-  ++metrics_.requests;
-  metrics_.p2p_hop_latency_total += hop_latency;
   if (fetched.hit) {
-    ++metrics_.hits_local_p2p;
-    metrics_.total_latency += config_.latencies.p2p_fetch() + hop_latency;
+    account_raw(ServedFrom::kLocalP2P, config_.latencies.p2p_fetch() + hop_latency,
+                /*wasted_latency=*/0.0, hop_latency);
     return;
   }
-  ++metrics_.server_fetches;
-  metrics_.total_latency +=
-      config_.latencies.p2p_fetch() + config_.latencies.server() + hop_latency;
+  account_raw(ServedFrom::kOriginServer,
+              config_.latencies.p2p_fetch() + config_.latencies.server() + hop_latency,
+              /*wasted_latency=*/0.0, hop_latency);
   // The home node stores the object with its refetch cost as the credit.
   // (store() routes again from the client; the message count conservatively
   // includes both legs.)

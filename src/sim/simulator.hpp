@@ -32,6 +32,7 @@
 #include "cache/lru.hpp"
 #include "directory/directory.hpp"
 #include "net/latency_model.hpp"
+#include "obs/registry.hpp"
 #include "p2p/p2p_client_cache.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheme.hpp"
@@ -105,6 +106,19 @@ struct SimConfig {
   /// trace per simulator; when absent, the constructor analyzes the trace
   /// itself, so run_single and direct construction are unaffected.
   std::shared_ptr<const workload::TraceStats> trace_stats{};
+  /// Observability registry every component of this simulation binds its
+  /// instruments into (schema "webcache-metrics/1"; see README). When null
+  /// the simulator creates a private one — reachable via
+  /// Simulator::registry() — so metrics are always collected; supplying a
+  /// registry lets callers keep it after the Simulator is gone.
+  std::shared_ptr<obs::Registry> registry{};
+  /// Capture a counter/gauge snapshot every N requests (0 = off). Ignored
+  /// when the build disables the tracer layer (WEBCACHE_OBS_TRACE=OFF).
+  std::uint64_t snapshot_interval = 0;
+  /// Ring capacity of the request-level event tracer (0 = off; ignored when
+  /// WEBCACHE_OBS_TRACE=OFF). Each served request records a TraceEvent
+  /// {request index, ServedFrom code, latency, wasted latency}.
+  std::size_t trace_capacity = 0;
 };
 
 class Simulator {
@@ -114,10 +128,21 @@ class Simulator {
   Simulator(SimConfig config, const workload::Trace& trace);
   ~Simulator();
 
-  /// Replays the full trace and returns the metrics. One-shot.
+  /// Replays the full trace and returns the metrics (a view over the
+  /// registry's instruments). One-shot.
   Metrics run();
 
   [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  /// The observability registry this simulation feeds (the config's, or the
+  /// private fallback). Valid for the simulator's lifetime; exporters read
+  /// it after run().
+  [[nodiscard]] obs::Registry& registry() { return *registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return *registry_; }
+
+  /// Current Metrics view over the registry (callable mid-run from
+  /// instrumentation hooks; run() returns the final one).
+  [[nodiscard]] Metrics metrics_view() const;
 
   /// Introspection for tests/ablations (null unless the scheme uses them).
   [[nodiscard]] const p2p::P2PClientCache* p2p_of(unsigned proxy) const;
@@ -182,8 +207,13 @@ class Simulator {
   [[nodiscard]] int first_remote_holder(std::uint64_t mask, unsigned local) const;
 
   /// Records one served request: outcome counters + latency (+ waste and
-  /// per-hop charges).
+  /// per-hop charges). The latency charged is the model's request_latency
+  /// for `where` plus the waste and hop surcharges.
   void account(net::ServedFrom where, double wasted_latency, double hop_latency = 0.0);
+  /// Same, but with an explicitly computed total latency (Squirrel's
+  /// proxy-less cost model differs from LatencyModel::request_latency).
+  void account_raw(net::ServedFrom where, double latency, double wasted_latency,
+                   double hop_latency);
 
   /// Hier-GD: destages a proxy eviction into the P2P cache, piggybacked on
   /// the response to `via_client`, and maintains the lookup directory.
@@ -198,6 +228,27 @@ class Simulator {
 
   [[nodiscard]] ClientNum client_of(const Request& request, const Proxy& proxy) const;
 
+  /// The simulator's own request-outcome instruments ("sim.*"). Bound once
+  /// at construction; every served request costs a handful of
+  /// pointer-indirect increments, same order as the struct-member
+  /// increments they replaced.
+  struct Instruments {
+    Instruments(obs::Registry& registry, const net::LatencyModel& latencies);
+    obs::Counter& requests;
+    obs::Counter& hits_browser;
+    obs::Counter& hits_local_proxy;
+    obs::Counter& hits_local_p2p;
+    obs::Counter& hits_remote_proxy;
+    obs::Counter& hits_remote_p2p;
+    obs::Counter& server_fetches;
+    obs::Gauge& total_latency;
+    obs::Gauge& wasted_p2p_latency;
+    obs::Gauge& p2p_hop_latency_total;
+    RunningStat& p2p_hops;
+    Histogram& latency_hist;  ///< per-request total latency distribution
+    Histogram& hops_hist;     ///< Pastry hops per P2P operation
+  };
+
   SimConfig config_;
   const workload::Trace& trace_;
   std::unique_ptr<cache::CostBenefitCoordinator> coordinator_;
@@ -205,7 +256,10 @@ class Simulator {
   std::vector<Proxy> proxies_;
   std::vector<ClientFailure> pending_failures_;  // sorted by time
   std::size_t next_failure_ = 0;
-  Metrics metrics_;
+  std::shared_ptr<obs::Registry> registry_;  // never null after construction
+  Instruments inst_;
+  net::MessageCounters msg_;  ///< simulator-level protocol messages ("net.*")
+  std::uint64_t now_ = 0;     ///< trace position of the request in flight
   bool ran_ = false;
   bool residency_enabled_ = false;
   std::vector<std::uint64_t> res_primary_;

@@ -19,6 +19,12 @@ TieredCache::Where TieredCache::locate(ObjectNum object) const {
   return Where::kMiss;
 }
 
+void TieredCache::bind_observability(obs::Registry& registry, const std::string& prefix) {
+  counters_ = std::make_unique<Counters>(registry, prefix);
+  tier1_->bind_observability(registry, prefix + "tier1.");
+  tier2_->bind_observability(registry, prefix + "tier2.");
+}
+
 void TieredCache::destage(ObjectNum object) {
   const auto cost_it = cost_.find(object);
   const double cost = cost_it == cost_.end() ? 0.0 : cost_it->second;
@@ -26,12 +32,15 @@ void TieredCache::destage(ObjectNum object) {
   if (!ins.inserted) {
     cost_.erase(object);  // zero-capacity tier 2: the object leaves entirely
     notify(object, Where::kMiss);
+    if (counters_) counters_->departures.inc();
     return;
   }
   notify(object, Where::kTier2);
+  if (counters_) counters_->destages.inc();
   if (ins.evicted) {
     cost_.erase(*ins.evicted);
     notify(*ins.evicted, Where::kMiss);
+    if (counters_) counters_->departures.inc();
   }
 }
 
@@ -41,8 +50,10 @@ TieredCache::Where TieredCache::access(ObjectNum object, double cost) {
     case Where::kTier1:
       cost_[object] = cost;
       tier1_->access(object, cost);
+      if (counters_) counters_->tier1_hits.inc();
       break;
     case Where::kTier2: {
+      if (counters_) counters_->tier2_hits.inc();
       // Promote: the proxy now serves and holds the object; its tier-1
       // evictee drops into the slot freed below.
       tier2_->erase(object);
@@ -54,16 +65,19 @@ TieredCache::Where TieredCache::access(ObjectNum object, double cost) {
         if (back.evicted) {
           cost_.erase(*back.evicted);
           notify(*back.evicted, Where::kMiss);
+          if (counters_) counters_->departures.inc();
         }
         if (!back.inserted) {
           cost_.erase(object);
           notify(object, Where::kMiss);
+          if (counters_) counters_->departures.inc();
         } else {
           notify(object, Where::kTier2);
         }
         break;
       }
       notify(object, Where::kTier1);
+      if (counters_) counters_->promotions.inc();
       if (ins.evicted) destage(*ins.evicted);
       break;
     }
@@ -79,9 +93,11 @@ TieredCache::Where TieredCache::refresh(ObjectNum object, double cost) {
   switch (where) {
     case Where::kTier1:
       tier1_->access(object, cost);
+      if (counters_) counters_->tier1_hits.inc();
       break;
     case Where::kTier2:
       tier2_->access(object, cost);
+      if (counters_) counters_->tier2_hits.inc();
       break;
     case Where::kMiss:
       assert(false && "TieredCache::refresh: object not cached");
@@ -93,9 +109,13 @@ TieredCache::Where TieredCache::refresh(ObjectNum object, double cost) {
 bool TieredCache::admit(ObjectNum object, double cost) {
   assert(!contains(object) && "TieredCache::admit: object already cached");
   const auto ins = tier1_->insert(object, cost);
-  if (!ins.inserted) return false;
+  if (!ins.inserted) {
+    if (counters_) counters_->declines.inc();
+    return false;
+  }
   cost_[object] = cost;
   notify(object, Where::kTier1);
+  if (counters_) counters_->admissions.inc();
   if (ins.evicted) destage(*ins.evicted);
   return true;
 }

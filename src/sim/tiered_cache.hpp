@@ -13,9 +13,11 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "cache/cache.hpp"
+#include "obs/registry.hpp"
 
 namespace webcache::sim {
 
@@ -64,10 +66,35 @@ class TieredCache {
   using TransitionHook = std::function<void(ObjectNum, Where)>;
   void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
 
+  /// Registers the unified-cache movement counters (`<prefix>tier1_hits`,
+  /// `tier2_hits`, `promotions`, `destages`, `admissions`, `declines`,
+  /// `departures`) in `registry`. Also binds both tiers' policy counters
+  /// under `<prefix>tier1.` / `<prefix>tier2.`. Optional: an unbound
+  /// TieredCache simply skips the accounting.
+  void bind_observability(obs::Registry& registry, const std::string& prefix);
+
  private:
   void notify(ObjectNum object, Where now) {
     if (hook_) hook_(object, now);
   }
+
+  struct Counters {
+    Counters(obs::Registry& registry, const std::string& prefix)
+        : tier1_hits(registry.counter(prefix + "tier1_hits")),
+          tier2_hits(registry.counter(prefix + "tier2_hits")),
+          promotions(registry.counter(prefix + "promotions")),
+          destages(registry.counter(prefix + "destages")),
+          admissions(registry.counter(prefix + "admissions")),
+          declines(registry.counter(prefix + "declines")),
+          departures(registry.counter(prefix + "departures")) {}
+    obs::Counter& tier1_hits;   ///< access()/refresh() found it in tier 1
+    obs::Counter& tier2_hits;   ///< access()/refresh() found it in tier 2
+    obs::Counter& promotions;   ///< tier-2 hit moved the object up
+    obs::Counter& destages;     ///< tier-1 evictee moved down into tier 2
+    obs::Counter& admissions;   ///< miss fill accepted into tier 1
+    obs::Counter& declines;     ///< miss fill rejected by the tier-1 policy
+    obs::Counter& departures;   ///< object left the unified cache entirely
+  };
 
   /// Moves tier 1's eviction victim down into tier 2.
   void destage(ObjectNum object);
@@ -75,6 +102,7 @@ class TieredCache {
   std::unique_ptr<cache::Cache> tier1_;
   std::unique_ptr<cache::Cache> tier2_;
   TransitionHook hook_;
+  std::unique_ptr<Counters> counters_;  ///< null until bind_observability
   /// Refetch cost of every object currently cached — needed to credit
   /// destaged objects correctly in value-based tiers.
   std::unordered_map<ObjectNum, double> cost_;

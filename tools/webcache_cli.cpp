@@ -3,8 +3,11 @@
 //   webcache_cli generate [workload flags] --out trace.txt
 //   webcache_cli analyze  --trace trace.txt [--squid]
 //   webcache_cli simulate --scheme Hier-GD [workload/cluster flags]
+//                         [--metrics-out m.json --trace-out t.csv
+//                          --snapshot-interval N]
 //   webcache_cli sweep    [--schemes NC,SC,...] [--cache-pcts 10,20,...]
 //                         [workload/cluster flags] [--csv out.csv]
+//                         [--metrics-out m.json --snapshot-interval N]
 //
 // Workload flags (synthetic ProWGen; ignored when --trace/--squid given):
 //   --requests N --objects N --alpha X --one-timers X --stack X --seed N
@@ -13,6 +16,13 @@
 //   --proxies N --clients N --cache-pct X --client-cache-pct X
 //   --directory exact|bloom --bloom-fpr X --no-diversion
 //   --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N
+// Observability flags (schema "webcache-metrics/1", see README):
+//   --metrics-out FILE      full registry export; .csv extension selects the
+//                           flat CSV form, anything else writes JSON
+//   --trace-out FILE        request-level event trace CSV (simulate only;
+//                           enables the ring tracer, default 1M events)
+//   --trace-capacity N      ring capacity for --trace-out
+//   --snapshot-interval N   counter/gauge snapshot every N requests
 //
 // Environment:
 //   WEBCACHE_THREADS  worker threads for sweep (default 0 = one per core;
@@ -49,8 +59,11 @@ using namespace webcache;
       "           [--proxies N --clients N --cache-pct X --client-cache-pct X\n"
       "            --directory exact|bloom --bloom-fpr X --no-diversion\n"
       "            --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N]\n"
+      "           [--metrics-out FILE --trace-out FILE --trace-capacity N\n"
+      "            --snapshot-interval N]\n"
       "  sweep    [--schemes A,B,...] [--cache-pcts 10,20,...] [--csv FILE]\n"
       "           [same workload/cluster flags as simulate]\n"
+      "           [--metrics-out FILE --snapshot-interval N]\n"
       "schemes: NC SC FC NC-EC SC-EC FC-EC Hier-GD Squirrel\n";
   std::exit(2);
 }
@@ -168,6 +181,20 @@ sim::SimConfig cluster_from(const Flags& flags, const workload::Trace& trace) {
   return cfg;
 }
 
+/// --metrics-out writer: a .csv extension selects the flat CSV form, any
+/// other name gets the JSON document.
+void write_registry_to(const std::string& path, const obs::Registry& registry,
+                       const std::string& name) {
+  std::ofstream out(path);
+  if (!out) usage("cannot open --metrics-out file for writing: " + path);
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    registry.write_csv(out);
+  } else {
+    registry.write_json(out, name);
+  }
+}
+
 int cmd_generate(const Flags& flags) {
   auto known = kWorkloadFlags;
   known.push_back("out");
@@ -201,7 +228,8 @@ int cmd_analyze(const Flags& flags) {
 int cmd_simulate(const Flags& flags) {
   auto known = kWorkloadFlags;
   known.insert(known.end(), kClusterFlags.begin(), kClusterFlags.end());
-  known.insert(known.end(), {"scheme", "trace", "squid"});
+  known.insert(known.end(), {"scheme", "trace", "squid", "metrics-out", "trace-out",
+                             "trace-capacity", "snapshot-interval"});
   flags.reject_unknown(known);
 
   const auto scheme = sim::scheme_from_string(flags.str("scheme", "Hier-GD"));
@@ -210,17 +238,35 @@ int cmd_simulate(const Flags& flags) {
   const auto trace = trace_from(flags);
   auto cfg = cluster_from(flags, trace);
   cfg.scheme = *scheme;
+  cfg.snapshot_interval = flags.integer("snapshot-interval", 0);
+  if (flags.has("trace-out")) {
+    cfg.trace_capacity = flags.integer("trace-capacity", 1'000'000);
+  }
   const auto run = core::run_single(trace, cfg);
   std::cout << "scheme: " << sim::to_string(*scheme) << "\n"
             << run.metrics.summary() << "latency gain vs NC: " << run.gain_percent
             << "%\n";
+  if (flags.has("metrics-out")) {
+    const auto path = flags.str("metrics-out", "");
+    write_registry_to(path, *run.registry,
+                      "webcache_cli simulate " + std::string(sim::to_string(*scheme)));
+    std::cout << "wrote metrics to " << path << "\n";
+  }
+  if (flags.has("trace-out")) {
+    const auto path = flags.str("trace-out", "");
+    std::ofstream out(path);
+    if (!out) usage("cannot open --trace-out file for writing: " + path);
+    run.registry->write_trace_csv(out);
+    std::cout << "wrote event trace to " << path << "\n";
+  }
   return 0;
 }
 
 int cmd_sweep(const Flags& flags) {
   auto known = kWorkloadFlags;
   known.insert(known.end(), kClusterFlags.begin(), kClusterFlags.end());
-  known.insert(known.end(), {"schemes", "cache-pcts", "csv", "trace", "squid"});
+  known.insert(known.end(), {"schemes", "cache-pcts", "csv", "trace", "squid",
+                             "metrics-out", "snapshot-interval"});
   flags.reject_unknown(known);
 
   const auto trace = trace_from(flags);
@@ -228,6 +274,8 @@ int cmd_sweep(const Flags& flags) {
   core::SweepConfig sweep;
   sweep.base = cluster_from(flags, trace);
   sweep.client_cache_percent = flags.num("client-cache-pct", 0.1);
+  sweep.collect_observability = flags.has("metrics-out");
+  sweep.snapshot_interval = flags.integer("snapshot-interval", 0);
   if (const char* env = std::getenv("WEBCACHE_THREADS")) {
     char* end = nullptr;
     const unsigned long t = std::strtoul(env, &end, 10);
@@ -269,6 +317,13 @@ int cmd_sweep(const Flags& flags) {
     if (!csv) usage("cannot open --csv file for writing");
     core::write_gain_csv(csv, result);
     std::cout << "wrote CSV to " << flags.str("csv", "") << "\n";
+  }
+  if (flags.has("metrics-out")) {
+    const auto path = flags.str("metrics-out", "");
+    std::ofstream out(path);
+    if (!out) usage("cannot open --metrics-out file for writing: " + path);
+    core::write_metrics_json(out, result, "webcache_cli sweep");
+    std::cout << "wrote metrics to " << path << "\n";
   }
   return 0;
 }
