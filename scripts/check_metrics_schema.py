@@ -102,6 +102,31 @@ def check_metrics_body(body, where):
             f"but sim.requests is {counters['sim.requests']}",
         )
 
+    # Fault-injection ledger: every lost P2P transfer is retried exactly
+    # once, a client can only rejoin after a crash, and bytes are only ever
+    # lost to crashes.
+    if "net.p2p_retries" in counters or "net.p2p_messages_lost" in counters:
+        lost = counters.get("net.p2p_messages_lost", 0)
+        retries = counters.get("net.p2p_retries", 0)
+        require(
+            retries == lost,
+            where,
+            f"net.p2p_retries is {retries} but net.p2p_messages_lost is {lost}",
+        )
+    if "fault.crashes" in counters:
+        crashes = counters["fault.crashes"]
+        rejoins = counters.get("fault.rejoins", 0)
+        require(
+            rejoins <= crashes,
+            where,
+            f"fault.rejoins ({rejoins}) exceeds fault.crashes ({crashes})",
+        )
+        require(
+            crashes > 0 or counters.get("fault.objects_lost", 0) == 0,
+            where,
+            "fault.objects_lost is non-zero without any fault.crashes",
+        )
+
 
 def check_document(doc, path):
     require(isinstance(doc, dict), path, "top level is not an object")

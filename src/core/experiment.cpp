@@ -121,9 +121,12 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
     c.registry = nullptr;
     c.snapshot_interval = config.collect_observability ? config.snapshot_interval : 0;
     c.trace_capacity = 0;  // the event tracer is a single-run tool
-    // Failure events only apply to schemes with addressable client caches.
+    // Failure/churn/loss injection only applies to schemes with addressable
+    // client caches.
     if (scheme != sim::Scheme::kHierGD && scheme != sim::Scheme::kSquirrel) {
       c.client_failures.clear();
+      c.churn_events.clear();
+      c.p2p_loss_rate = 0.0;
     }
     return c;
   };
@@ -244,7 +247,11 @@ SingleRun run_single(const workload::Trace& trace, sim::SimConfig config) {
   r.metrics = sim::run_simulation(config, trace);
   sim::SimConfig nc = config;
   nc.scheme = sim::Scheme::kNC;
-  nc.client_failures.clear();  // NC has no addressable client caches
+  // NC has no addressable client caches: no failures, churn, or P2P loss.
+  nc.client_failures.clear();
+  nc.churn_events.clear();
+  nc.p2p_loss_rate = 0.0;
+  nc.checkpoint_hook = {};  // audits target the scheme under test
   // The baseline must not pollute (or double-count into) the scheme run's
   // registry; it accounts into a private one.
   nc.registry = std::make_shared<obs::Registry>();

@@ -42,6 +42,10 @@ bool BloomDirectory::may_contain(ObjectNum object) const {
   return positive;
 }
 
+bool BloomDirectory::audit_contains(ObjectNum object) const {
+  return filter_.may_contain(id_of(object));
+}
+
 std::shared_ptr<const std::vector<Uint128>> build_object_id_table(ObjectNum distinct_objects) {
   auto table = std::make_shared<std::vector<Uint128>>();
   table->reserve(distinct_objects);

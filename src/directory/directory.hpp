@@ -51,6 +51,11 @@ class LookupDirectory {
   /// false negatives (given consistent add/remove).
   [[nodiscard]] virtual bool may_contain(ObjectNum object) const = 0;
 
+  /// Same membership answer as may_contain, but without touching the
+  /// lookup/positive counters — for the invariant auditor, whose probes must
+  /// not perturb the metrics a run exports.
+  [[nodiscard]] virtual bool audit_contains(ObjectNum object) const = 0;
+
   [[nodiscard]] virtual std::size_t entry_count() const = 0;
   [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
   [[nodiscard]] virtual std::string kind() const = 0;
@@ -92,6 +97,9 @@ class ExactDirectory final : public LookupDirectory {
     note_lookup(positive);
     return positive;
   }
+  [[nodiscard]] bool audit_contains(ObjectNum object) const override {
+    return entries_.contains(object);
+  }
   [[nodiscard]] std::size_t entry_count() const override { return entries_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override {
     // Hashtable of 128-bit objectIds (as the paper describes it): id plus
@@ -116,6 +124,7 @@ class BloomDirectory final : public LookupDirectory {
   void add(ObjectNum object) override;
   void remove(ObjectNum object) override;
   [[nodiscard]] bool may_contain(ObjectNum object) const override;
+  [[nodiscard]] bool audit_contains(ObjectNum object) const override;
   [[nodiscard]] std::size_t entry_count() const override { return entries_; }
   [[nodiscard]] std::size_t memory_bytes() const override { return filter_.memory_bytes(); }
   [[nodiscard]] std::string kind() const override { return "bloom"; }

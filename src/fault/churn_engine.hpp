@@ -1,0 +1,45 @@
+// ChurnEngine: replays a sorted churn schedule against the live simulation.
+//
+// The engine is a cursor over the event list; Simulator::run calls advance()
+// once per trace position and the engine hands every due event to the
+// dispatcher in schedule order. All state is a single index, so the engine
+// adds nothing to the hot path when the schedule is empty and is trivially
+// deterministic: event application order depends only on the schedule, never
+// on threads or wall time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/churn_schedule.hpp"
+
+namespace webcache::fault {
+
+class ChurnEngine {
+ public:
+  ChurnEngine() = default;
+  explicit ChurnEngine(std::vector<ChurnEvent> events)
+      : events_(sorted_schedule(std::move(events))) {}
+
+  /// Dispatches every event with `time <= now` that has not fired yet.
+  template <typename Dispatcher>
+  void advance(std::uint64_t now, Dispatcher&& dispatch) {
+    while (next_ < events_.size() && events_[next_].time <= now) {
+      dispatch(events_[next_]);
+      ++next_;
+    }
+  }
+
+  [[nodiscard]] bool exhausted() const { return next_ == events_.size(); }
+  [[nodiscard]] std::size_t applied() const { return next_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<ChurnEvent>& events() const { return events_; }
+
+ private:
+  std::vector<ChurnEvent> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace webcache::fault

@@ -1,0 +1,77 @@
+#include "fault/churn_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace webcache::fault {
+namespace {
+
+// Draws a time uniformly in [start, end); callers guarantee end > start.
+std::uint64_t draw_time(Rng& rng, std::uint64_t start, std::uint64_t end) {
+  return start + rng.next_below(end - start);
+}
+
+}  // namespace
+
+std::vector<ChurnEvent> make_schedule(const ChurnSpec& spec, std::uint64_t trace_length,
+                                      unsigned num_proxies, ClientNum clients_per_cluster) {
+  if (num_proxies == 0) {
+    throw std::invalid_argument("make_schedule: need at least one proxy");
+  }
+  if (clients_per_cluster == 0) {
+    throw std::invalid_argument("make_schedule: need at least one client per cluster");
+  }
+  if (spec.start >= trace_length &&
+      (spec.crashes > 0 || spec.joins > 0 || spec.repair_every > 0)) {
+    throw std::invalid_argument("make_schedule: churn start is past the end of the trace");
+  }
+
+  std::vector<ChurnEvent> events;
+  Rng root(spec.seed);
+  for (unsigned p = 0; p < num_proxies; ++p) {
+    // Independent sub-stream per cluster: adding a proxy never perturbs the
+    // schedules of existing ones.
+    Rng rng = root.fork(p + 1);
+
+    // Distinct crash targets via a partial Fisher-Yates shuffle, keeping at
+    // least one client alive so the cluster can still route requests.
+    const ClientNum max_crashes =
+        std::min<ClientNum>(spec.crashes, clients_per_cluster - 1);
+    std::vector<ClientNum> pool(clients_per_cluster);
+    for (ClientNum c = 0; c < clients_per_cluster; ++c) pool[c] = c;
+    for (ClientNum k = 0; k < max_crashes; ++k) {
+      const std::size_t pick = k + rng.next_below(pool.size() - k);
+      std::swap(pool[k], pool[pick]);
+      const std::uint64_t when = draw_time(rng, spec.start, trace_length);
+      events.push_back({when, p, pool[k], ChurnAction::kCrash});
+      if (spec.recover_after > 0) {
+        const std::uint64_t back = when + spec.recover_after;
+        if (back < trace_length) {
+          events.push_back({back, p, pool[k], ChurnAction::kRejoin});
+        }
+      }
+    }
+
+    for (ClientNum j = 0; j < spec.joins; ++j) {
+      events.push_back(
+          {draw_time(rng, spec.start, trace_length), p, 0, ChurnAction::kJoin});
+    }
+
+    if (spec.repair_every > 0) {
+      for (std::uint64_t t = spec.start; t < trace_length; t += spec.repair_every) {
+        events.push_back({t, p, 0, ChurnAction::kRepair});
+      }
+    }
+  }
+  return sorted_schedule(std::move(events));
+}
+
+std::vector<ChurnEvent> sorted_schedule(std::vector<ChurnEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) { return a.time < b.time; });
+  return events;
+}
+
+}  // namespace webcache::fault

@@ -1,0 +1,73 @@
+// Deterministic churn schedules: the failure/recovery/join event stream the
+// ChurnEngine executes against a live simulation (client crashes, delayed
+// recoveries, fresh joins, periodic Pastry maintenance).
+//
+// Events are keyed by *trace position*, not wall time, so a schedule is part
+// of the experiment configuration: the same (schedule, seed) pair replays
+// bit-identically at any worker-thread count, which the churn determinism
+// test pins. Schedules are either written out explicitly (tests) or expanded
+// from a compact ChurnSpec by make_schedule() using the repo's deterministic
+// Rng (CLI, benches, property tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace webcache::fault {
+
+enum class ChurnAction {
+  kCrash,   ///< client machine fails; its share of the P2P cache is lost
+  kRejoin,  ///< a previously crashed client comes back (same id, empty cache)
+  kJoin,    ///< a brand-new client machine joins the cluster
+  kRepair,  ///< run the cluster's Pastry maintenance pass (repair_all)
+};
+
+/// One scheduled membership event. `client` indexes into the cluster of
+/// `proxy` (taken modulo the cluster size at dispatch) and is ignored for
+/// kJoin/kRepair.
+struct ChurnEvent {
+  std::uint64_t time = 0;  ///< trace position at which the event fires
+  unsigned proxy = 0;      ///< cluster the event targets
+  ClientNum client = 0;
+  ChurnAction action = ChurnAction::kCrash;
+
+  friend bool operator==(const ChurnEvent&, const ChurnEvent&) = default;
+};
+
+/// Compact description of a randomized churn scenario, expanded per cluster
+/// by make_schedule(). All times are trace positions.
+struct ChurnSpec {
+  /// First trace position eligible for churn — set this past the warmup so
+  /// crash impact is measured against a warmed system, not an empty one.
+  std::uint64_t start = 0;
+  /// Crash events per cluster (distinct clients; capped at cluster size - 1
+  /// so a cluster always keeps at least one live client).
+  ClientNum crashes = 0;
+  /// When > 0, every crashed client rejoins this many requests after its
+  /// crash (rejoins that would land past the end of the trace are dropped).
+  std::uint64_t recover_after = 0;
+  /// Fresh client machines joining per cluster, spread over [start, end).
+  ClientNum joins = 0;
+  /// When > 0, a kRepair event per cluster every this many requests,
+  /// starting at `start` (models Pastry's periodic background maintenance).
+  std::uint64_t repair_every = 0;
+  std::uint64_t seed = 2003;
+};
+
+/// Expands `spec` into a sorted, deterministic event list for a cluster of
+/// `num_proxies` proxies with `clients_per_cluster` clients each. Crash
+/// targets and times are drawn from independent per-cluster sub-streams of
+/// `spec.seed`, so schedules for different clusters are uncorrelated but the
+/// whole schedule is a pure function of its inputs.
+[[nodiscard]] std::vector<ChurnEvent> make_schedule(const ChurnSpec& spec,
+                                                    std::uint64_t trace_length,
+                                                    unsigned num_proxies,
+                                                    ClientNum clients_per_cluster);
+
+/// Stable-sorts a hand-written schedule by time (the order the engine needs;
+/// equal-time events keep their authored order).
+[[nodiscard]] std::vector<ChurnEvent> sorted_schedule(std::vector<ChurnEvent> events);
+
+}  // namespace webcache::fault

@@ -1,0 +1,47 @@
+// Probabilistic P2P message loss. Each intra-cluster transfer draws once; a
+// loss models a timeout + retry, costing the requester one extra Tp2p of
+// latency (the retry always succeeds — the paper's client caches sit on one
+// LAN, so persistent partitions are out of scope; crashes are modeled by the
+// ChurnEngine instead).
+//
+// The model owns its own Rng stream, forked from the simulation seed, so
+// enabling loss never perturbs workload or capacity-spread draws.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace webcache::fault {
+
+class LossModel {
+ public:
+  LossModel() = default;
+  LossModel(double probability, std::uint64_t seed)
+      : probability_(probability), rng_(seed) {
+    if (probability < 0.0 || probability >= 1.0) {
+      throw std::invalid_argument("LossModel: probability must be in [0, 1)");
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return probability_ > 0.0; }
+
+  /// Draws one message; returns true if it was lost (and must be retried).
+  bool lose_message() {
+    if (probability_ <= 0.0) return false;
+    if (rng_.next_double() >= probability_) return false;
+    ++losses_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t losses() const { return losses_; }
+  [[nodiscard]] double probability() const { return probability_; }
+
+ private:
+  double probability_ = 0.0;
+  Rng rng_{0};
+  std::uint64_t losses_ = 0;
+};
+
+}  // namespace webcache::fault

@@ -49,6 +49,11 @@ class LatencyModel {
   /// greedy-dual credits objects with (Tl excluded: it is paid regardless).
   [[nodiscard]] double fetch_cost(ServedFrom where) const;
 
+  /// Extra latency per lost-then-retried P2P transfer: the timed-out attempt
+  /// costs a full Tp2p before the retransmission goes out. Used by the fault
+  /// layer's LossModel; the retry itself is accounted as the normal transfer.
+  [[nodiscard]] double loss_retry_penalty() const { return p2p_; }
+
  private:
   double server_;
   double proxy_;

@@ -15,7 +15,9 @@ MessageCounters::MessageCounters(obs::Registry& registry, const std::string& pre
       push_requests(registry.counter(prefix + "push_requests")),
       push_transfers(registry.counter(prefix + "push_transfers")),
       directory_false_positives(registry.counter(prefix + "directory_false_positives")),
-      directory_true_positives(registry.counter(prefix + "directory_true_positives")) {}
+      directory_true_positives(registry.counter(prefix + "directory_true_positives")),
+      p2p_messages_lost(registry.counter(prefix + "p2p_messages_lost")),
+      p2p_retries(registry.counter(prefix + "p2p_retries")) {}
 
 MessageStats MessageCounters::view() const {
   MessageStats stats;
@@ -32,6 +34,8 @@ MessageStats MessageCounters::view() const {
   stats.push_transfers = push_transfers.value();
   stats.directory_false_positives = directory_false_positives.value();
   stats.directory_true_positives = directory_true_positives.value();
+  stats.p2p_messages_lost = p2p_messages_lost.value();
+  stats.p2p_retries = p2p_retries.value();
   return stats;
 }
 
@@ -49,6 +53,8 @@ void MessageCounters::reset() {
   push_transfers.reset();
   directory_false_positives.reset();
   directory_true_positives.reset();
+  p2p_messages_lost.reset();
+  p2p_retries.reset();
 }
 
 }  // namespace webcache::net

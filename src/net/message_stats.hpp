@@ -36,6 +36,10 @@ struct MessageStats {
   std::uint64_t directory_false_positives = 0;  ///< wasted P2P lookups (Bloom)
   std::uint64_t directory_true_positives = 0;
 
+  // --- fault injection (LossModel) ---
+  std::uint64_t p2p_messages_lost = 0;  ///< P2P transfers lost to injected faults
+  std::uint64_t p2p_retries = 0;        ///< retransmissions after a loss/timeout
+
   void merge(const MessageStats& other) {
     destage_piggybacked += other.destage_piggybacked;
     destage_dedicated += other.destage_dedicated;
@@ -50,6 +54,8 @@ struct MessageStats {
     push_transfers += other.push_transfers;
     directory_false_positives += other.directory_false_positives;
     directory_true_positives += other.directory_true_positives;
+    p2p_messages_lost += other.p2p_messages_lost;
+    p2p_retries += other.p2p_retries;
   }
 
   /// Messages a non-piggybacking implementation would have sent for
@@ -82,6 +88,8 @@ class MessageCounters {
   obs::Counter& push_transfers;
   obs::Counter& directory_false_positives;
   obs::Counter& directory_true_positives;
+  obs::Counter& p2p_messages_lost;
+  obs::Counter& p2p_retries;
 
   [[nodiscard]] MessageStats view() const;
   void reset();

@@ -45,6 +45,7 @@ P2PClientCache::P2PClientCache(P2PConfig config,
   }
 
   obs::Registry& reg = obs::ensure_registry(registry, owned_registry_);
+  registry_ = &reg;
   const std::string cache_prefix = config_.name_prefix + ".client_cache.";
   nodes_.reserve(config_.clients);
   for (ClientNum c = 0; c < config_.clients; ++c) {
@@ -254,6 +255,41 @@ std::vector<ObjectNum> P2PClientCache::fail_client(ClientNum client) {
   return lost;
 }
 
+bool P2PClientCache::revive_client(ClientNum client) {
+  if (client >= nodes_.size()) {
+    throw std::invalid_argument("P2PClientCache::revive_client: no such client");
+  }
+  ClientNode& node = nodes_[client];
+  if (node.alive) return false;
+  // fail_client emptied the cache and both diversion maps; the machine comes
+  // back cold at the same ring position and network coordinates.
+  assert(node.cache->size() == 0);
+  assert(node.diverted_in.empty() && node.diverted_out.empty());
+  overlay_.rejoin_node(node.id);
+  node.alive = true;
+  return true;
+}
+
+ClientNum P2PClientCache::add_client() {
+  const ClientNum index = static_cast<ClientNum>(nodes_.size());
+  ClientNode node;
+  node.id = pastry::node_id_for(config_.name_prefix + "/client" + std::to_string(index));
+  node.cache = std::make_unique<cache::GreedyDualCache>(client_capacity(config_, index));
+  node.cache->bind_observability(*registry_, config_.name_prefix + ".client_cache.");
+  overlay_.add_node(node.id);
+  node_index_.emplace(node.id, nodes_.size());
+  nodes_.push_back(std::move(node));
+  return index;
+}
+
+ClientNum P2PClientCache::alive_clients() const {
+  ClientNum alive = 0;
+  for (const auto& n : nodes_) {
+    if (n.alive) ++alive;
+  }
+  return alive;
+}
+
 std::vector<ObjectNum> P2PClientCache::contents_of(ClientNum client) const {
   if (client >= nodes_.size()) {
     throw std::invalid_argument("P2PClientCache::contents_of: no such client");
@@ -280,6 +316,89 @@ double P2PClientCache::utilization_cv() const {
   }
   var /= static_cast<double>(alive);
   return std::sqrt(var) / mean;
+}
+
+std::vector<ObjectNum> P2PClientCache::resident_objects() const {
+  std::vector<ObjectNum> objects;
+  objects.reserve(location_.size());
+  for (const auto& [object, idx] : location_) objects.push_back(object);
+  return objects;
+}
+
+std::vector<std::string> P2PClientCache::audit_violations() const {
+  std::vector<std::string> v;
+  const auto fail = [&v](std::string msg) { v.push_back(std::move(msg)); };
+
+  // Location index -> node caches.
+  for (const auto& [object, idx] : location_) {
+    if (idx >= nodes_.size()) {
+      fail("location of object " + std::to_string(object) + " points past the node list");
+      continue;
+    }
+    const ClientNode& holder = nodes_[idx];
+    if (!holder.alive) {
+      fail("object " + std::to_string(object) + " located at dead client " +
+           std::to_string(idx));
+    }
+    if (!holder.cache->contains(object)) {
+      fail("object " + std::to_string(object) + " located at client " +
+           std::to_string(idx) + " but absent from its cache");
+    }
+  }
+
+  for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
+    const ClientNode& node = nodes_[idx];
+    // Node caches -> location index, and capacity bounds.
+    if (node.cache->size() > node.cache->capacity()) {
+      fail("client " + std::to_string(idx) + " cache over capacity");
+    }
+    for (const auto object : node.cache->contents()) {
+      const auto it = location_.find(object);
+      if (it == location_.end() || it->second != idx) {
+        fail("object " + std::to_string(object) + " cached at client " +
+             std::to_string(idx) + " without a matching location entry");
+      }
+    }
+    if (!node.alive) {
+      if (node.cache->size() != 0 || !node.diverted_in.empty() ||
+          !node.diverted_out.empty()) {
+        fail("dead client " + std::to_string(idx) + " still holds state");
+      }
+      continue;
+    }
+    // Diversion pointer symmetry: root's diverted_out ↔ peer's diverted_in.
+    for (const auto& [object, peer_id] : node.diverted_out) {
+      const auto peer_it = node_index_.find(peer_id);
+      if (peer_it == node_index_.end()) {
+        fail("diverted_out of client " + std::to_string(idx) + " names an unknown peer");
+        continue;
+      }
+      const ClientNode& peer = nodes_[peer_it->second];
+      const auto back = peer.diverted_in.find(object);
+      if (!peer.alive || back == peer.diverted_in.end() || back->second != node.id) {
+        fail("diversion pointer for object " + std::to_string(object) +
+             " (root client " + std::to_string(idx) + ") has no live back-pointer");
+      }
+      const auto loc = location_.find(object);
+      if (loc == location_.end() || loc->second != peer_it->second) {
+        fail("diverted object " + std::to_string(object) + " not located at its peer");
+      }
+    }
+    for (const auto& [object, root_id] : node.diverted_in) {
+      const auto root_it = node_index_.find(root_id);
+      if (root_it == node_index_.end()) {
+        fail("diverted_in of client " + std::to_string(idx) + " names an unknown root");
+        continue;
+      }
+      const ClientNode& root = nodes_[root_it->second];
+      const auto fwd = root.diverted_out.find(object);
+      if (!root.alive || fwd == root.diverted_out.end() || fwd->second != node.id) {
+        fail("held-for-root object " + std::to_string(object) + " (client " +
+             std::to_string(idx) + ") has no live forward pointer");
+      }
+    }
+  }
+  return v;
 }
 
 }  // namespace webcache::p2p

@@ -120,6 +120,20 @@ class P2PClientCache {
   /// that vanished (the proxy's directory is now stale until told).
   std::vector<ObjectNum> fail_client(ClientNum client);
 
+  /// Brings a crashed client back up with an empty cooperative cache (the
+  /// machine rebooted; its browser-cache half restarts cold). The node
+  /// rejoins the overlay at its archived proximity coordinates. Returns
+  /// false (and does nothing) if the client is already alive.
+  bool revive_client(ClientNum client);
+
+  /// A brand-new client machine joins the cluster: a fresh node with its own
+  /// greedy-dual cache (capacity per the configured spread) enters the
+  /// overlay. Returns the new client's index.
+  ClientNum add_client();
+
+  /// Number of currently-live client machines.
+  [[nodiscard]] ClientNum alive_clients() const;
+
   /// Runs the overlay's periodic repair.
   void repair() { overlay_.repair_all(); }
 
@@ -136,6 +150,15 @@ class P2PClientCache {
   /// Coefficient of variation of per-client utilization — the balance metric
   /// the diversion ablation reports.
   [[nodiscard]] double utilization_cv() const;
+
+  /// Every object resident anywhere in the cluster (the ground truth the
+  /// proxy's lookup directory approximates). Audit/test support.
+  [[nodiscard]] std::vector<ObjectNum> resident_objects() const;
+
+  /// Structural self-check: location index ↔ per-node caches bidirectional,
+  /// dead nodes empty, diversion pointers symmetric and live. Returns a
+  /// description per violation (empty = consistent). Used by fault::audit.
+  [[nodiscard]] std::vector<std::string> audit_violations() const;
 
  private:
   struct ClientNode {
@@ -160,6 +183,9 @@ class P2PClientCache {
 
   P2PConfig config_;
   std::shared_ptr<const std::vector<Uint128>> object_ids_;
+  /// The registry the cluster binds its instruments into (owned or caller's);
+  /// kept so add_client can bind late-joining caches to the same counters.
+  obs::Registry* registry_ = nullptr;
   /// Fallback registry when none was supplied (declared before the members
   /// that bind counters out of it).
   std::unique_ptr<obs::Registry> owned_registry_;

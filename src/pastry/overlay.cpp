@@ -191,16 +191,30 @@ void Overlay::add_node(const NodeId& id, const Coordinates& where) {
       if (const auto slot = other.table.slot_of(id)) {
         const auto incumbent = other.table.entry(slot->first, slot->second);
         bool replace = false;
+        bool incumbent_dead = false;
         if (incumbent) {
           const auto inc_it = ring_.find(*incumbent);
-          replace = inc_it == ring_.end() ||
+          incumbent_dead = inc_it == ring_.end();
+          replace = incumbent_dead ||
                     proximity(other.coords, self.coords) <
                         proximity(other.coords, inc_it->second.coords);
         }
         other.table.insert(id, replace);
+        if (incumbent_dead) counters_.repairs.inc();
       }
     } else {
-      other.table.insert(id, /*replace=*/false);
+      // A crashed incumbent must not keep the slot: insert(replace=false)
+      // would leave the dead reference in place and the newcomer unknown, so
+      // later routes through this slot would hit a guaranteed timeout. Evict
+      // dead incumbents here (and count the repair), keep live ones.
+      const auto slot = other.table.slot_of(id);
+      bool replace_dead = false;
+      if (slot) {
+        const auto incumbent = other.table.entry(slot->first, slot->second);
+        replace_dead = incumbent.has_value() && !ring_.contains(*incumbent);
+      }
+      other.table.insert(id, replace_dead);
+      if (replace_dead) counters_.repairs.inc();
     }
   }
 }
@@ -223,13 +237,27 @@ void Overlay::remove_node(const NodeId& id) {
 }
 
 void Overlay::fail_node(const NodeId& id) {
-  if (!ring_.contains(id)) throw std::invalid_argument("Overlay: unknown node id");
+  const auto it = ring_.find(id);
+  if (it == ring_.end()) throw std::invalid_argument("Overlay: unknown node id");
+  // The node's proximity coordinates must leave the live tables with it —
+  // otherwise a later join could pick the dead node as a "nearby" incumbent.
+  // They are archived (a machine's network position survives its crash) so a
+  // rejoin comes back at the same spot.
+  failed_coords_.insert_or_assign(id, it->second.coords);
   // Crash: the node vanishes from the live set but peers keep stale
   // references until they detect the failure.
-  ring_.erase(id);
+  ring_.erase(it);
   index_.erase(id);
   sorted_ids_.erase(std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id));
   stale_possible_ = true;
+}
+
+void Overlay::rejoin_node(const NodeId& id) {
+  const auto arch = failed_coords_.find(id);
+  const Coordinates where =
+      arch != failed_coords_.end() ? arch->second : default_coordinates(id);
+  add_node(id, where);  // throws if the id is still alive
+  failed_coords_.erase(id);
 }
 
 void Overlay::repair_all() {

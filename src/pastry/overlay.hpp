@@ -109,8 +109,14 @@ class Overlay {
 
   /// Crash failure: the node stops responding but remains in other nodes'
   /// tables until detected. Repairs happen on detection (if configured) or
-  /// via repair_all().
+  /// via repair_all(). The node's proximity coordinates are archived so a
+  /// later rejoin_node() restores its network position.
   void fail_node(const NodeId& id);
+
+  /// Re-admits a previously crashed node (same id, fresh protocol state) at
+  /// its archived proximity coordinates — default coordinates if the id was
+  /// never seen. Throws std::invalid_argument if the id is currently alive.
+  void rejoin_node(const NodeId& id);
 
   /// Periodic repair pass over every live node: prunes dead references and
   /// refills what can be refilled. Models Pastry's background maintenance.
@@ -209,6 +215,10 @@ class Overlay {
   /// ring walk (leaf-set/table rebuilds). std::map nodes are pointer-stable,
   /// so the cached NodeState* survive unrelated joins.
   std::unordered_map<NodeId, NodeState*, Uint128Hash> index_;
+  /// Proximity coordinates of crashed nodes, keyed by id: removed from the
+  /// live tables on fail_node (so joins never pick a dead neighbor) and
+  /// restored on rejoin_node.
+  std::unordered_map<NodeId, Coordinates, Uint128Hash> failed_coords_;
   /// Live ids in ascending order, mirroring ring_'s keys: root_of runs once
   /// per routed message, and binary search over contiguous ids beats walking
   /// the red-black tree.

@@ -17,6 +17,11 @@ Simulator::Instruments::Instruments(obs::Registry& registry,
       hits_remote_proxy(registry.counter("sim.hits_remote_proxy")),
       hits_remote_p2p(registry.counter("sim.hits_remote_p2p")),
       server_fetches(registry.counter("sim.server_fetches")),
+      fault_crashes(registry.counter("fault.crashes")),
+      fault_rejoins(registry.counter("fault.rejoins")),
+      fault_joins(registry.counter("fault.joins")),
+      fault_repairs(registry.counter("fault.repairs")),
+      fault_objects_lost(registry.counter("fault.objects_lost")),
       total_latency(registry.gauge("sim.total_latency")),
       wasted_p2p_latency(registry.gauge("sim.wasted_p2p_latency")),
       p2p_hop_latency_total(registry.gauge("sim.p2p_hop_latency_total")),
@@ -77,17 +82,31 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
     object_ids_ = directory::build_object_id_table(trace_.distinct_objects);
   }
 
-  if (!config_.client_failures.empty() && config_.scheme != Scheme::kHierGD &&
-      config_.scheme != Scheme::kSquirrel) {
+  const bool addressable_clients =
+      config_.scheme == Scheme::kHierGD || config_.scheme == Scheme::kSquirrel;
+  if ((!config_.client_failures.empty() || !config_.churn_events.empty()) &&
+      !addressable_clients) {
     throw std::invalid_argument(
         "Simulator: client failures need individually addressable client caches "
         "(Hier-GD or Squirrel)");
   }
-  pending_failures_ = config_.client_failures;
-  std::stable_sort(pending_failures_.begin(), pending_failures_.end(),
-                   [](const ClientFailure& a, const ClientFailure& b) {
-                     return a.time < b.time;
-                   });
+  if (config_.p2p_loss_rate != 0.0 && !addressable_clients) {
+    throw std::invalid_argument(
+        "Simulator: P2P message loss needs a P2P tier (Hier-GD or Squirrel)");
+  }
+  // Legacy one-shot failures become crash events on the same engine; the
+  // stable sort keeps the authored order among same-time events.
+  std::vector<fault::ChurnEvent> events;
+  events.reserve(config_.client_failures.size() + config_.churn_events.size());
+  for (const auto& f : config_.client_failures) {
+    events.push_back({f.time, f.proxy, f.client, fault::ChurnAction::kCrash});
+  }
+  events.insert(events.end(), config_.churn_events.begin(), config_.churn_events.end());
+  churn_ = fault::ChurnEngine(std::move(events));
+  // Private loss stream forked off the run seed: enabling loss perturbs no
+  // other draw, and the run stays a pure function of its configuration.
+  loss_ = fault::LossModel(config_.p2p_loss_rate,
+                           SplitMix64(config_.seed ^ 0x4c4f5353ULL).next());
 
   proxies_.resize(config_.num_proxies);
   for (unsigned p = 0; p < config_.num_proxies; ++p) {
@@ -215,6 +234,35 @@ const directory::LookupDirectory* Simulator::directory_of(unsigned proxy) const 
   return proxy < proxies_.size() ? proxies_[proxy].dir.get() : nullptr;
 }
 
+const cache::Cache* Simulator::proxy_cache_of(unsigned proxy) const {
+  if (proxy >= proxies_.size()) return nullptr;
+  const Proxy& p = proxies_[proxy];
+  return p.cache ? p.cache.get() : p.gd.get();
+}
+
+const TieredCache* Simulator::tiered_of(unsigned proxy) const {
+  return proxy < proxies_.size() ? proxies_[proxy].tiered.get() : nullptr;
+}
+
+const cache::CostBenefitCache* Simulator::unified_of(unsigned proxy) const {
+  return proxy < proxies_.size() ? proxies_[proxy].unified.get() : nullptr;
+}
+
+const cache::LruCache* Simulator::tier_tracker_of(unsigned proxy) const {
+  return proxy < proxies_.size() ? proxies_[proxy].tier_tracker.get() : nullptr;
+}
+
+const cache::LruCache* Simulator::browser_of(unsigned proxy, ClientNum client) const {
+  if (proxy >= proxies_.size()) return nullptr;
+  const Proxy& p = proxies_[proxy];
+  return client < p.browsers.size() ? p.browsers[client].get() : nullptr;
+}
+
+const std::unordered_map<ObjectNum, double>* Simulator::fetch_costs_of(
+    unsigned proxy) const {
+  return proxy < proxies_.size() ? &proxies_[proxy].fetch_cost : nullptr;
+}
+
 ClientNum Simulator::client_of(const Request& request, const Proxy& proxy) const {
   ClientNum c = request.client % config_.clients_per_cluster;
   if (proxy.p2p && !proxy.p2p->client_alive(c)) {
@@ -237,6 +285,13 @@ void Simulator::account(ServedFrom where, double wasted_latency, double hop_late
 
 void Simulator::account_raw(ServedFrom where, double latency, double wasted_latency,
                             double hop_latency) {
+  // Timeouts from injected P2P losses belong to the request in flight: fold
+  // them into its latency as waste and clear the queue.
+  if (pending_loss_waste_ != 0.0) {
+    latency += pending_loss_waste_;
+    wasted_latency += pending_loss_waste_;
+    pending_loss_waste_ = 0.0;
+  }
   inst_.requests.inc();
   switch (where) {
     case ServedFrom::kBrowser: inst_.hits_browser.inc(); break;
@@ -276,18 +331,49 @@ void Simulator::browser_fill(const Request& request, unsigned proxy_index) {
   }
 }
 
-void Simulator::apply_failures(std::uint64_t now) {
-  while (next_failure_ < pending_failures_.size() &&
-         pending_failures_[next_failure_].time <= now) {
-    const auto& f = pending_failures_[next_failure_++];
-    if (f.proxy >= proxies_.size()) {
-      throw std::invalid_argument("Simulator: failure event references unknown proxy");
+void Simulator::apply_churn(const fault::ChurnEvent& event) {
+  if (event.proxy >= proxies_.size()) {
+    throw std::invalid_argument("Simulator: failure event references unknown proxy");
+  }
+  Proxy& proxy = proxies_[event.proxy];
+  switch (event.action) {
+    case fault::ChurnAction::kCrash: {
+      const ClientNum target = event.client % proxy.p2p->cluster_size();
+      // No-op if the machine is already down; a crash that would take the
+      // cluster's last live client is skipped (the paper's cluster always
+      // has someone left to route from).
+      if (!proxy.p2p->client_alive(target)) break;
+      if (proxy.p2p->alive_clients() <= 1) break;
+      // The crash silently loses the client's share of the P2P cache; the
+      // proxy's directory is NOT told (that is the point of the experiment)
+      // — it discovers the losses through failed lookups.
+      const auto lost = proxy.p2p->fail_client(target);
+      inst_.fault_crashes.inc();
+      inst_.fault_objects_lost.inc(lost.size());
+      break;
     }
-    Proxy& proxy = proxies_[f.proxy];
-    // The crash silently loses the client's share of the P2P cache; the
-    // proxy's directory is NOT told (that is the point of the experiment) —
-    // it discovers the losses through failed lookups.
-    (void)proxy.p2p->fail_client(f.client % config_.clients_per_cluster);
+    case fault::ChurnAction::kRejoin: {
+      const ClientNum target = event.client % proxy.p2p->cluster_size();
+      if (proxy.p2p->revive_client(target)) inst_.fault_rejoins.inc();
+      break;
+    }
+    case fault::ChurnAction::kJoin:
+      (void)proxy.p2p->add_client();
+      inst_.fault_joins.inc();
+      break;
+    case fault::ChurnAction::kRepair:
+      proxy.p2p->repair();
+      inst_.fault_repairs.inc();
+      break;
+  }
+}
+
+void Simulator::maybe_lose_p2p_message() {
+  if (!loss_.enabled()) return;
+  if (loss_.lose_message()) {
+    msg_.p2p_messages_lost.inc();
+    msg_.p2p_retries.inc();
+    pending_loss_waste_ += config_.latencies.loss_retry_penalty();
   }
 }
 
@@ -295,14 +381,25 @@ Metrics Simulator::run() {
   if (ran_) throw std::logic_error("Simulator::run: already ran (one-shot)");
   ran_ = true;
 
+  const std::uint64_t checkpoint = config_.checkpoint_interval;
+  bool checked_at_end = false;
   for (std::size_t t = 0; t < trace_.requests.size(); ++t) {
-    if (next_failure_ < pending_failures_.size()) apply_failures(t);
+    churn_.advance(t, [this](const fault::ChurnEvent& e) { apply_churn(e); });
     now_ = t;
     const auto& request = trace_.requests[t];
     const auto proxy_index = static_cast<unsigned>(t % config_.num_proxies);
-    if (browser_lookup(request, proxy_index)) continue;
-    step(request, proxy_index);
-    browser_fill(request, proxy_index);
+    if (!browser_lookup(request, proxy_index)) {
+      step(request, proxy_index);
+      browser_fill(request, proxy_index);
+    }
+    if (checkpoint > 0 && config_.checkpoint_hook && (t + 1) % checkpoint == 0) {
+      config_.checkpoint_hook(*this, t + 1);
+      checked_at_end = t + 1 == trace_.requests.size();
+    }
+  }
+  // Always audit the final state, but not twice.
+  if (config_.checkpoint_hook && !checked_at_end) {
+    config_.checkpoint_hook(*this, trace_.requests.size());
   }
   return metrics_view();
 }
@@ -553,6 +650,7 @@ void Simulator::destage_hier_gd(Proxy& proxy, ObjectNum victim, ClientNum via_cl
   const double credit = cost_it != proxy.fetch_cost.end()
                             ? cost_it->second
                             : config_.latencies.fetch_cost(ServedFrom::kOriginServer);
+  maybe_lose_p2p_message();  // the destage transfer itself may time out
   const auto outcome = proxy.p2p->store(victim, credit, via_client);
   inst_.p2p_hops.add(static_cast<double>(outcome.hops));
   inst_.hops_hist.add(static_cast<double>(outcome.hops));
@@ -601,6 +699,7 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
 
   // Local P2P client cache, gated by the lookup directory.
   if (local.dir->may_contain(object)) {
+    maybe_lose_p2p_message();
     const auto fetched = local.p2p->fetch(object, client, /*remove_on_hit=*/true);
     inst_.p2p_hops.add(static_cast<double>(fetched.hops));
   inst_.hops_hist.add(static_cast<double>(fetched.hops));
@@ -674,6 +773,7 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
 
   if (served == ServedFrom::kOriginServer && push_holder != nullptr) {
     msg_.push_requests.inc();
+    maybe_lose_p2p_message();
     const auto fetched = push_holder->p2p->fetch(object, push_client, /*remove_on_hit=*/false);
     inst_.p2p_hops.add(static_cast<double>(fetched.hops));
   inst_.hops_hist.add(static_cast<double>(fetched.hops));
@@ -703,6 +803,7 @@ void Simulator::step_squirrel(const Request& request, unsigned proxy_index) {
   // The requesting client routes straight to the object's home node. A home
   // hit serves at LAN cost; on a miss the home node fetches from the origin
   // server, caches the object (home-store model) and forwards it.
+  maybe_lose_p2p_message();
   const auto fetched = org.p2p->fetch(object, client, /*remove_on_hit=*/false);
   inst_.p2p_hops.add(static_cast<double>(fetched.hops));
   inst_.hops_hist.add(static_cast<double>(fetched.hops));
@@ -713,6 +814,9 @@ void Simulator::step_squirrel(const Request& request, unsigned proxy_index) {
                 /*wasted_latency=*/0.0, hop_latency);
     return;
   }
+  // The home-store leg may also time out; draw it before accounting so its
+  // retry penalty lands on this request, not the next one.
+  maybe_lose_p2p_message();
   account_raw(ServedFrom::kOriginServer,
               config_.latencies.p2p_fetch() + config_.latencies.server() + hop_latency,
               /*wasted_latency=*/0.0, hop_latency);

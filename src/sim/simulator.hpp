@@ -22,8 +22,11 @@
 //                 and the push protocol for remote access.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/cost_benefit.hpp"
@@ -31,6 +34,9 @@
 #include "cache/lfu.hpp"
 #include "cache/lru.hpp"
 #include "directory/directory.hpp"
+#include "fault/churn_engine.hpp"
+#include "fault/churn_schedule.hpp"
+#include "fault/loss_model.hpp"
 #include "net/latency_model.hpp"
 #include "obs/registry.hpp"
 #include "p2p/p2p_client_cache.hpp"
@@ -41,6 +47,8 @@
 #include "workload/trace_stats.hpp"
 
 namespace webcache::sim {
+
+class Simulator;
 
 enum class DirectoryKind { kExact, kBloom };
 
@@ -97,7 +105,26 @@ struct SimConfig {
   std::size_t browser_cache_capacity = 0;
   /// Scheduled client crashes, applied in trace order (Hier-GD only; the
   /// other schemes have no individually addressable client caches).
+  /// Superseded by `churn_events` (a crash-only schedule); both feed the
+  /// same ChurnEngine and may be combined.
   std::vector<ClientFailure> client_failures{};
+  /// Full churn schedule (crashes, delayed rejoins, fresh joins, periodic
+  /// repair passes), executed by the fault::ChurnEngine at the scheduled
+  /// trace positions. Like client_failures, requires individually
+  /// addressable client caches (Hier-GD or Squirrel).
+  std::vector<fault::ChurnEvent> churn_events{};
+  /// Probability in [0, 1) that any single P2P transfer (lookup, destage,
+  /// push) is lost and must be retried after a timeout — each loss costs the
+  /// request an extra Tp2p of (wasted) latency. Hier-GD/Squirrel only. The
+  /// loss stream is forked off `seed`, so enabling it never perturbs the
+  /// workload draws.
+  double p2p_loss_rate = 0.0;
+  /// Invoke `checkpoint_hook` after every `checkpoint_interval` requests
+  /// (and once at end-of-trace). 0 with a non-null hook = end-of-trace only.
+  /// The hook receives the simulator mid-run plus the number of requests
+  /// completed; fault::make_audit_hook() supplies the invariant auditor.
+  std::uint64_t checkpoint_interval = 0;
+  std::function<void(const Simulator&, std::uint64_t)> checkpoint_hook{};
   pastry::OverlayConfig overlay{};
   std::uint64_t seed = 7;
   /// Optional precomputed statistics of the trace this config will run on
@@ -148,6 +175,29 @@ class Simulator {
   [[nodiscard]] const p2p::P2PClientCache* p2p_of(unsigned proxy) const;
   [[nodiscard]] const directory::LookupDirectory* directory_of(unsigned proxy) const;
 
+  // --- read-only introspection for the invariant auditor -------------------
+  /// The proxy-tier cache: NC/SC/FC's LFU/cost-benefit cache or Hier-GD's
+  /// greedy-dual cache; null for the tiered/unified/Squirrel schemes.
+  [[nodiscard]] const cache::Cache* proxy_cache_of(unsigned proxy) const;
+  [[nodiscard]] const TieredCache* tiered_of(unsigned proxy) const;
+  [[nodiscard]] const cache::CostBenefitCache* unified_of(unsigned proxy) const;
+  [[nodiscard]] const cache::LruCache* tier_tracker_of(unsigned proxy) const;
+  [[nodiscard]] const cache::LruCache* browser_of(unsigned proxy, ClientNum client) const;
+  [[nodiscard]] const std::unordered_map<ObjectNum, double>* fetch_costs_of(
+      unsigned proxy) const;
+  [[nodiscard]] bool residency_index_enabled() const { return residency_enabled_; }
+  [[nodiscard]] std::uint64_t residency_primary(ObjectNum object) const {
+    return residency_mask(res_primary_, object);
+  }
+  [[nodiscard]] std::uint64_t residency_secondary(ObjectNum object) const {
+    return residency_mask(res_secondary_, object);
+  }
+  /// Upper bound (exclusive) on object ids with possibly non-zero residency.
+  [[nodiscard]] ObjectNum residency_universe() const {
+    return static_cast<ObjectNum>(std::max(res_primary_.size(), res_secondary_.size()));
+  }
+  [[nodiscard]] const fault::ChurnEngine& churn() const { return churn_; }
+
  private:
   struct Proxy {
     // NC / SC / FC
@@ -171,7 +221,11 @@ class Simulator {
   /// Browser-cache front end: returns true when the request was absorbed.
   bool browser_lookup(const Request& request, unsigned proxy_index);
   void browser_fill(const Request& request, unsigned proxy_index);
-  void apply_failures(std::uint64_t now);
+  /// Executes one due churn event (the ChurnEngine's dispatcher).
+  void apply_churn(const fault::ChurnEvent& event);
+  /// Draws one P2P transfer against the loss model; a loss queues an extra
+  /// Tp2p of wasted latency that account_raw folds into the current request.
+  void maybe_lose_p2p_message();
   void step_basic(const Request& request, unsigned proxy_index);
   void step_tiered_ec(const Request& request, unsigned proxy_index);
   void step_fc_ec(const Request& request, unsigned proxy_index);
@@ -241,6 +295,11 @@ class Simulator {
     obs::Counter& hits_remote_proxy;
     obs::Counter& hits_remote_p2p;
     obs::Counter& server_fetches;
+    obs::Counter& fault_crashes;       ///< "fault.crashes"
+    obs::Counter& fault_rejoins;       ///< "fault.rejoins"
+    obs::Counter& fault_joins;         ///< "fault.joins"
+    obs::Counter& fault_repairs;       ///< "fault.repairs" (scheduled passes)
+    obs::Counter& fault_objects_lost;  ///< "fault.objects_lost" (crash casualties)
     obs::Gauge& total_latency;
     obs::Gauge& wasted_p2p_latency;
     obs::Gauge& p2p_hop_latency_total;
@@ -254,8 +313,11 @@ class Simulator {
   std::unique_ptr<cache::CostBenefitCoordinator> coordinator_;
   std::shared_ptr<const std::vector<Uint128>> object_ids_;
   std::vector<Proxy> proxies_;
-  std::vector<ClientFailure> pending_failures_;  // sorted by time
-  std::size_t next_failure_ = 0;
+  fault::ChurnEngine churn_;  ///< merged client_failures + churn_events
+  fault::LossModel loss_;
+  /// Wasted latency from P2P losses since the last account_raw; flushed into
+  /// the request in flight (losses only occur on its own transfers).
+  double pending_loss_waste_ = 0.0;
   std::shared_ptr<obs::Registry> registry_;  // never null after construction
   Instruments inst_;
   net::MessageCounters msg_;  ///< simulator-level protocol messages ("net.*")

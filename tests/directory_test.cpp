@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "p2p/p2p_client_cache.hpp"
+
 namespace webcache::directory {
 namespace {
 
@@ -97,6 +104,96 @@ TEST(BloomDirectory, RejectsMissingTableAndOutOfRange) {
   BloomDirectory d(table, 10, 0.01);
   EXPECT_THROW(d.add(10), std::out_of_range);
   EXPECT_THROW((void)d.may_contain(10), std::out_of_range);
+}
+
+// --- staleness after a holder crash -----------------------------------------
+//
+// The directory is only told about evictions, never crashes: when the client
+// physically holding a registered object dies, the entry goes stale. The
+// proxy's discovery protocol is lookup (stale positive) -> P2P fetch (miss)
+// -> purge. These tests drive that sequence against a real P2P cluster for
+// both representations and pin the counter trail it must leave.
+
+namespace {
+
+struct CrashedHolderRig {
+  std::shared_ptr<const std::vector<Uint128>> table = build_object_id_table(64);
+  obs::Registry registry;
+  p2p::P2PClientCache p2p;
+  ObjectNum object = 7;
+
+  CrashedHolderRig()
+      : p2p(
+            [] {
+              p2p::P2PConfig cfg;
+              cfg.clients = 8;
+              cfg.per_client_capacity = 4;
+              return cfg;
+            }(),
+            table, &registry) {}
+
+  /// Stores the object, registers the receipt, then crashes whichever client
+  /// physically holds it. Returns true if the object was lost as expected.
+  bool store_register_and_crash(LookupDirectory& dir) {
+    if (!p2p.store(object, 10.0, 0).stored) return false;
+    dir.add(object);
+    for (ClientNum c = 0; c < p2p.cluster_size(); ++c) {
+      const auto held = p2p.contents_of(c);
+      if (std::find(held.begin(), held.end(), object) == held.end()) continue;
+      const auto lost = p2p.fail_client(c);
+      return std::find(lost.begin(), lost.end(), object) != lost.end();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+template <typename MakeDirectory>
+void expect_stale_entry_is_discovered_and_purged(MakeDirectory make_directory) {
+  CrashedHolderRig rig;
+  auto dir = make_directory(rig);
+  ASSERT_TRUE(rig.store_register_and_crash(*dir));
+
+  // The holder is gone but the directory was never told: stale positive.
+  EXPECT_TRUE(dir->may_contain(rig.object));
+  EXPECT_EQ(rig.registry.counter_value("dir.lookups"), 1u);
+  EXPECT_EQ(rig.registry.counter_value("dir.positives"), 1u);
+
+  // The redirected fetch misses — discovery — and the proxy purges.
+  EXPECT_FALSE(rig.p2p.fetch(rig.object, 0).hit);
+  dir->remove(rig.object);
+  EXPECT_EQ(rig.registry.counter_value("dir.removes"), 1u);
+  EXPECT_EQ(dir->entry_count(), 0u);
+  EXPECT_FALSE(dir->may_contain(rig.object));
+  EXPECT_FALSE(dir->audit_contains(rig.object));
+}
+
+TEST(ExactDirectory, CrashedHolderEntryIsDiscoveredAndPurged) {
+  expect_stale_entry_is_discovered_and_purged([](CrashedHolderRig& rig) {
+    return std::make_unique<ExactDirectory>(&rig.registry);
+  });
+}
+
+TEST(BloomDirectory, CrashedHolderEntryIsDiscoveredAndPurged) {
+  expect_stale_entry_is_discovered_and_purged([](CrashedHolderRig& rig) {
+    return std::make_unique<BloomDirectory>(rig.table, 64, 0.001, &rig.registry);
+  });
+}
+
+TEST(LookupDirectory, AuditProbesLeaveTheCountersUntouched) {
+  const auto table = build_object_id_table(32);
+  obs::Registry registry;
+  ExactDirectory exact(&registry);
+  BloomDirectory bloom(table, 32, 0.01, &registry, "bdir.");
+  exact.add(3);
+  bloom.add(3);
+  EXPECT_TRUE(exact.audit_contains(3));
+  EXPECT_FALSE(exact.audit_contains(4));
+  EXPECT_TRUE(bloom.audit_contains(3));
+  EXPECT_EQ(registry.counter_value("dir.lookups"), 0u);
+  EXPECT_EQ(registry.counter_value("dir.positives"), 0u);
+  EXPECT_EQ(registry.counter_value("bdir.lookups"), 0u);
 }
 
 }  // namespace

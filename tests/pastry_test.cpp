@@ -313,5 +313,93 @@ TEST(Overlay, ChurnStressKeepsRoutingCorrect) {
   }
 }
 
+// --- churn repair behavior --------------------------------------------------
+
+TEST(Overlay, SimultaneousAdjacentFailuresRepairToGroundTruthLeafSets) {
+  auto overlay = make_overlay(40);
+  auto ids = overlay.nodes();
+  std::sort(ids.begin(), ids.end());
+
+  // Crash a node's immediate ring neighbors on *both* sides at once — the
+  // worst case for leaf-set repair, since each side must be refilled from
+  // beyond the dead pair with no graceful-leave announcement to help.
+  const std::size_t i = 10;
+  const NodeId survivor = ids[i];
+  overlay.fail_node(ids[i - 1]);
+  overlay.fail_node(ids[i + 1]);
+
+  // Routing from the orphaned node still succeeds mid-churn.
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_TRUE(overlay.route(survivor, key_for(k)).success);
+  }
+
+  const auto repairs_before = overlay.stats().repairs;
+  overlay.repair_all();
+  EXPECT_GT(overlay.stats().repairs, repairs_before);
+
+  // After repair, every leaf set matches the ground-truth live ring exactly:
+  // the l/2 nearest live successors and predecessors, nothing dead.
+  auto live = overlay.nodes();
+  std::sort(live.begin(), live.end());
+  const unsigned per_side = overlay.config().leaf_set_size / 2;
+  for (std::size_t n = 0; n < live.size(); ++n) {
+    const auto& ls = overlay.leaf_set(live[n]);
+    for (const auto& member : ls.members()) {
+      EXPECT_TRUE(overlay.contains(member)) << "stale leaf survived repair";
+    }
+    for (unsigned k = 1; k <= per_side && k < live.size(); ++k) {
+      EXPECT_TRUE(ls.contains(live[(n + k) % live.size()]));
+      EXPECT_TRUE(ls.contains(live[(n + live.size() - k) % live.size()]));
+    }
+  }
+}
+
+TEST(Overlay, JoinReplacesDeadIncumbentAndCountsExactlyOneRepair) {
+  // Crafted ids pin the routing-table geometry: B and C compete for the same
+  // slot (row 0, digit 2) of A's table.
+  const NodeId a = Uint128::from_hex("10000000000000000000000000000000");
+  const NodeId b = Uint128::from_hex("20000000000000000000000000000000");
+  const NodeId c = Uint128::from_hex("21000000000000000000000000000000");
+  Overlay overlay{OverlayConfig{}};
+  overlay.add_node(a);
+  overlay.add_node(b);
+  ASSERT_EQ(overlay.routing_table(a).entry(0, 2), std::optional<NodeId>(b));
+
+  overlay.fail_node(b);
+  EXPECT_EQ(overlay.stats().repairs, 0u);  // crashes are silent; no repair yet
+
+  // C's join must evict the dead incumbent from A's slot — leaving B in
+  // place would point later routes at a guaranteed timeout — and the repair
+  // counter must record exactly that one replacement.
+  overlay.add_node(c);
+  EXPECT_EQ(overlay.stats().repairs, 1u);
+  EXPECT_EQ(overlay.routing_table(a).entry(0, 2), std::optional<NodeId>(c));
+  for (const auto& entry : overlay.routing_table(a).populated()) {
+    EXPECT_NE(entry, b);
+  }
+}
+
+TEST(Overlay, RejoinRestoresArchivedCoordinates) {
+  const NodeId id = id_for(1);
+  const Coordinates where{0.125, 0.875};
+  Overlay overlay{OverlayConfig{}};
+  overlay.add_node(id_for(0));
+  overlay.add_node(id, where);
+  overlay.fail_node(id);
+  EXPECT_FALSE(overlay.contains(id));
+
+  overlay.rejoin_node(id);
+  ASSERT_TRUE(overlay.contains(id));
+  EXPECT_DOUBLE_EQ(overlay.coordinates_of(id).x, where.x);
+  EXPECT_DOUBLE_EQ(overlay.coordinates_of(id).y, where.y);
+
+  // A node the overlay never saw fail joins at its default coordinates.
+  const NodeId fresh = id_for(2);
+  overlay.rejoin_node(fresh);
+  ASSERT_TRUE(overlay.contains(fresh));
+  EXPECT_DOUBLE_EQ(overlay.coordinates_of(fresh).x, default_coordinates(fresh).x);
+  EXPECT_DOUBLE_EQ(overlay.coordinates_of(fresh).y, default_coordinates(fresh).y);
+}
+
 }  // namespace
 }  // namespace webcache::pastry

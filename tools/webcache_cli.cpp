@@ -3,6 +3,10 @@
 //   webcache_cli generate [workload flags] --out trace.txt
 //   webcache_cli analyze  --trace trace.txt [--squid]
 //   webcache_cli simulate --scheme Hier-GD [workload/cluster flags]
+//                         [--churn-crashes N --churn-recover-after N
+//                          --churn-joins N --churn-repair-every N
+//                          --churn-start N --churn-seed N --churn-loss X
+//                          --audit-interval N]
 //                         [--metrics-out m.json --trace-out t.csv
 //                          --snapshot-interval N]
 //   webcache_cli sweep    [--schemes NC,SC,...] [--cache-pcts 10,20,...]
@@ -23,6 +27,20 @@
 //                           enables the ring tracer, default 1M events)
 //   --trace-capacity N      ring capacity for --trace-out
 //   --snapshot-interval N   counter/gauge snapshot every N requests
+// Fault-injection flags (simulate only; need Hier-GD or Squirrel):
+//   --churn-crashes N       client crashes per cluster (deterministic
+//                           schedule from --churn-seed)
+//   --churn-recover-after N crashed clients rejoin N requests later
+//   --churn-joins N         fresh client machines joining per cluster
+//   --churn-repair-every N  periodic Pastry maintenance pass
+//   --churn-start N         first trace position eligible for churn
+//                           (default: a quarter into the trace)
+//   --churn-seed N          schedule seed (default 2003)
+//   --churn-loss X          P2P message loss probability in [0, 1); each
+//                           lost transfer costs one retry (an extra Tp2p)
+//   --audit-interval N      run the cross-layer invariant auditor every N
+//                           requests; any violation exits non-zero
+//                           (needs a WEBCACHE_AUDIT=ON build)
 //
 // Environment:
 //   WEBCACHE_THREADS  worker threads for sweep (default 0 = one per core;
@@ -39,6 +57,8 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "fault/churn_schedule.hpp"
+#include "fault/invariant_auditor.hpp"
 #include "workload/prowgen.hpp"
 #include "workload/squid_log.hpp"
 #include "workload/stack_distance.hpp"
@@ -59,6 +79,9 @@ using namespace webcache;
       "           [--proxies N --clients N --cache-pct X --client-cache-pct X\n"
       "            --directory exact|bloom --bloom-fpr X --no-diversion\n"
       "            --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N]\n"
+      "           [--churn-crashes N --churn-recover-after N --churn-joins N\n"
+      "            --churn-repair-every N --churn-start N --churn-seed N\n"
+      "            --churn-loss X --audit-interval N]\n"
       "           [--metrics-out FILE --trace-out FILE --trace-capacity N\n"
       "            --snapshot-interval N]\n"
       "  sweep    [--schemes A,B,...] [--cache-pcts 10,20,...] [--csv FILE]\n"
@@ -124,6 +147,10 @@ const std::vector<std::string> kWorkloadFlags = {
 const std::vector<std::string> kClusterFlags = {
     "proxies", "cache-pct", "client-cache-pct", "directory", "bloom-fpr",
     "no-diversion", "ts-tc", "ts-tl", "tp2p-tl", "browser-cache",
+};
+const std::vector<std::string> kChurnFlags = {
+    "churn-crashes", "churn-recover-after", "churn-joins", "churn-repair-every",
+    "churn-start",   "churn-seed",          "churn-loss",  "audit-interval",
 };
 
 workload::ProWGenConfig workload_from(const Flags& flags) {
@@ -225,9 +252,35 @@ int cmd_analyze(const Flags& flags) {
   return 0;
 }
 
+/// Expands the --churn-* / --audit-interval flags into the config's churn
+/// schedule, loss model, and audit checkpoints.
+void apply_churn_flags(const Flags& flags, sim::SimConfig& cfg,
+                       std::uint64_t trace_length) {
+  fault::ChurnSpec spec;
+  spec.crashes = static_cast<ClientNum>(flags.integer("churn-crashes", 0));
+  spec.recover_after = flags.integer("churn-recover-after", 0);
+  spec.joins = static_cast<ClientNum>(flags.integer("churn-joins", 0));
+  spec.repair_every = flags.integer("churn-repair-every", 0);
+  spec.start = flags.integer("churn-start", trace_length / 4);
+  spec.seed = flags.integer("churn-seed", spec.seed);
+  if (spec.crashes > 0 || spec.joins > 0 || spec.repair_every > 0) {
+    cfg.churn_events = fault::make_schedule(spec, trace_length, cfg.num_proxies,
+                                            cfg.clients_per_cluster);
+  }
+  cfg.p2p_loss_rate = flags.num("churn-loss", 0.0);
+  if (flags.has("audit-interval")) {
+    if (!fault::audits_enabled()) {
+      usage("--audit-interval needs a WEBCACHE_AUDIT=ON build");
+    }
+    cfg.checkpoint_interval = flags.integer("audit-interval", 0);
+    cfg.checkpoint_hook = fault::make_audit_hook();
+  }
+}
+
 int cmd_simulate(const Flags& flags) {
   auto known = kWorkloadFlags;
   known.insert(known.end(), kClusterFlags.begin(), kClusterFlags.end());
+  known.insert(known.end(), kChurnFlags.begin(), kChurnFlags.end());
   known.insert(known.end(), {"scheme", "trace", "squid", "metrics-out", "trace-out",
                              "trace-capacity", "snapshot-interval"});
   flags.reject_unknown(known);
@@ -239,6 +292,7 @@ int cmd_simulate(const Flags& flags) {
   auto cfg = cluster_from(flags, trace);
   cfg.scheme = *scheme;
   cfg.snapshot_interval = flags.integer("snapshot-interval", 0);
+  apply_churn_flags(flags, cfg, trace.size());
   if (flags.has("trace-out")) {
     cfg.trace_capacity = flags.integer("trace-capacity", 1'000'000);
   }
@@ -246,6 +300,15 @@ int cmd_simulate(const Flags& flags) {
   std::cout << "scheme: " << sim::to_string(*scheme) << "\n"
             << run.metrics.summary() << "latency gain vs NC: " << run.gain_percent
             << "%\n";
+  if (!cfg.churn_events.empty() || cfg.p2p_loss_rate > 0.0) {
+    const auto& reg = *run.registry;
+    std::cout << "churn: " << reg.counter_value("fault.crashes") << " crashes, "
+              << reg.counter_value("fault.rejoins") << " rejoins, "
+              << reg.counter_value("fault.joins") << " joins, "
+              << reg.counter_value("fault.repairs") << " repairs; "
+              << reg.counter_value("fault.objects_lost") << " objects lost, "
+              << run.metrics.messages.p2p_messages_lost << " messages lost\n";
+  }
   if (flags.has("metrics-out")) {
     const auto path = flags.str("metrics-out", "");
     write_registry_to(path, *run.registry,
