@@ -3,6 +3,8 @@
 // workload generation and end-to-end simulated request throughput.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bloom/counting_bloom.hpp"
 #include "cache/greedy_dual.hpp"
 #include "cache/lfu.hpp"
@@ -10,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/sha1.hpp"
 #include "common/zipf.hpp"
+#include "directory/directory.hpp"
 #include "pastry/overlay.hpp"
 #include "sim/simulator.hpp"
 #include "workload/prowgen.hpp"
@@ -69,6 +72,68 @@ void BM_GreedyDualCacheOps(benchmark::State& state) {
   cache_mixed_ops<cache::GreedyDualCache>(state);
 }
 BENCHMARK(BM_GreedyDualCacheOps);
+
+// Eviction-pressure variant of the mixed-op loop: a cache much smaller than
+// its working set, so most inserts evict — the proxy admit/destage regime
+// that dominates the Hier-GD hot path.
+void BM_GreedyDualEvictionPressure(benchmark::State& state) {
+  cache::GreedyDualCache cache(static_cast<std::size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto o = static_cast<ObjectNum>(rng.next_below(10'000));
+    if (cache.contains(o)) {
+      cache.access(o, 20.0);
+    } else {
+      benchmark::DoNotOptimize(cache.insert(o, 20.0));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GreedyDualEvictionPressure)->Arg(2'000)->Arg(5);
+
+// Directory maintenance mix as the Hier-GD proxy drives it: a rolling window
+// of adds (store receipts), removes (eviction notices) and lookups.
+template <typename MakeDir>
+void directory_ops(benchmark::State& state, MakeDir make) {
+  const auto dir = make();
+  constexpr ObjectNum kUniverse = 100'000;
+  constexpr ObjectNum kWindow = 10'000;
+  ObjectNum next = 0;
+  for (ObjectNum o = 0; o < kWindow; ++o) dir->add(next++);
+  Rng rng(11);
+  for (auto _ : state) {
+    dir->add(next);
+    dir->remove(next - kWindow);
+    next = (next + 1) % kUniverse == 0 ? kWindow : next + 1;
+    benchmark::DoNotOptimize(dir->may_contain(static_cast<ObjectNum>(rng.next_below(kUniverse))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ExactDirectoryOps(benchmark::State& state) {
+  directory_ops(state, [] { return std::make_unique<directory::ExactDirectory>(); });
+}
+BENCHMARK(BM_ExactDirectoryOps);
+
+void BM_BloomDirectoryOps(benchmark::State& state) {
+  const auto table = directory::build_object_id_table(100'000);
+  directory_ops(state, [&] {
+    return std::make_unique<directory::BloomDirectory>(table, 10'000, 0.02);
+  });
+}
+BENCHMARK(BM_BloomDirectoryOps);
+
+// Ring-placement table construction (SHA-1 of every object URL) — the cost
+// run_sweep now pays once per trace instead of once per Hier-GD/Squirrel job.
+void BM_RingPlacementTable(benchmark::State& state) {
+  const auto n = static_cast<ObjectNum>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(directory::build_object_id_table(n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RingPlacementTable)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
 
 void BM_CountingBloomInsertQuery(benchmark::State& state) {
   bloom::CountingBloomFilter f(100'000, 0.01);

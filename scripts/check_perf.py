@@ -24,10 +24,17 @@ scheduler noise.
 Usage:
     check_perf.py --baseline bench/baselines/BENCH_perf_smoke.json \
                   --current build/BENCH_perf_smoke.json [--min-ratio 0.5]
+
+After a deliberate perf change (the point of comparing ratios is catching
+*accidental* ones), refresh the committed baseline from a fresh run:
+
+    check_perf.py --baseline bench/baselines/BENCH_perf_smoke.json \
+                  --current build/BENCH_perf_smoke.json --update-baseline
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -53,10 +60,36 @@ def main():
         default=0.5,
         help="current/baseline requests-per-sec must be >= this (default 0.5)",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite the --baseline file with the --current report "
+        "(after validating the current report) instead of gating",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline, "baseline")
     current = load(args.current, "current")
+
+    if args.update_baseline:
+        # Validate before overwriting: a half-written or schemeless report
+        # must never replace a good baseline.
+        if not current.get("requests_per_sec"):
+            print(
+                f"error: current report {args.current} has no requests_per_sec; "
+                "refusing to overwrite the baseline",
+                file=sys.stderr,
+            )
+            return 2
+        # Raw byte copy, not a JSON re-dump: the bench's own formatting is
+        # the canonical baseline format.
+        shutil.copyfile(args.current, args.baseline)
+        for scheme, rps in sorted(current["requests_per_sec"].items()):
+            old = baseline.get("requests_per_sec", {}).get(scheme)
+            ref = f" (was {old:,.0f})" if old is not None else " (new)"
+            print(f"{scheme}: baseline now {rps:,.0f} req/s{ref}")
+        print(f"\nbaseline {args.baseline} updated from {args.current}")
+        return 0
 
     base_rps = baseline.get("requests_per_sec", {})
     cur_rps = current.get("requests_per_sec", {})

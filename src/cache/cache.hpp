@@ -57,6 +57,12 @@ class Cache {
   /// Removes a specific object (e.g. invalidation). Returns true if present.
   virtual bool erase(ObjectNum object) = 0;
 
+  /// Hint that object ids are dense in [0, universe) and this cache may hold
+  /// a universe-scale population (proxy caches). Policies may preallocate
+  /// direct-indexed structures; per-client caches should NOT receive this
+  /// hint — a universe-sized array per client would defeat the point.
+  virtual void reserve_universe(std::size_t /*universe*/) {}
+
   /// The object the policy would evict next, if the cache is non-empty.
   [[nodiscard]] virtual std::optional<ObjectNum> peek_victim() const = 0;
 

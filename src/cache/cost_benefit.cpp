@@ -23,15 +23,15 @@ CostBenefitCoordinator::CostBenefitCoordinator(std::vector<double> per_proxy_fre
 }
 
 unsigned CostBenefitCoordinator::replica_count(ObjectNum object) const {
-  const auto it = holders_.find(object);
-  return it == holders_.end() ? 0 : static_cast<unsigned>(it->second.size());
+  const auto* holders = find_holders(object);
+  return holders == nullptr ? 0 : static_cast<unsigned>(holders->size());
 }
 
 bool CostBenefitCoordinator::held_elsewhere(ObjectNum object,
                                             const CostBenefitCache* except) const {
-  const auto it = holders_.find(object);
-  if (it == holders_.end()) return false;
-  return std::any_of(it->second.begin(), it->second.end(),
+  const auto* holders = find_holders(object);
+  if (holders == nullptr) return false;
+  return std::any_of(holders->begin(), holders->end(),
                      [except](const CostBenefitCache* c) { return c != except; });
 }
 
@@ -55,11 +55,11 @@ void CostBenefitCoordinator::consume(ObjectNum object) {
 }
 
 void CostBenefitCoordinator::reprice_holders(ObjectNum object) {
-  const auto it = holders_.find(object);
-  if (it == holders_.end()) return;
-  const auto replicas = static_cast<unsigned>(it->second.size());
+  const auto* holders = find_holders(object);
+  if (holders == nullptr) return;
+  const auto replicas = static_cast<unsigned>(holders->size());
   const double value = copy_value(object, replicas);
-  for (CostBenefitCache* holder : it->second) {
+  for (CostBenefitCache* holder : *holders) {
     holder->reprice(object, value);
   }
 }
@@ -73,6 +73,7 @@ void CostBenefitCoordinator::unregister_member(CostBenefitCache* cache) {
 }
 
 void CostBenefitCoordinator::on_copy_added(ObjectNum object, CostBenefitCache* cache) {
+  if (object >= holders_.size()) holders_.resize(static_cast<std::size_t>(object) + 1);
   auto& holders = holders_[object];
   holders.push_back(cache);
   if (holders.size() == 2) {
@@ -83,14 +84,12 @@ void CostBenefitCoordinator::on_copy_added(ObjectNum object, CostBenefitCache* c
 }
 
 void CostBenefitCoordinator::on_copy_removed(ObjectNum object, CostBenefitCache* cache) {
-  const auto it = holders_.find(object);
-  assert(it != holders_.end());
-  std::erase(it->second, cache);
-  if (it->second.size() == 1) {
+  auto* holders = find_holders(object);
+  assert(holders != nullptr);
+  std::erase(*holders, cache);
+  if (holders->size() == 1) {
     // The survivor became the sole copy: price it up.
-    it->second.front()->reprice(object, copy_value(object, 1));
-  } else if (it->second.empty()) {
-    holders_.erase(it);
+    holders->front()->reprice(object, copy_value(object, 1));
   }
 }
 
@@ -102,9 +101,9 @@ CostBenefitCache::CostBenefitCache(std::size_t capacity, CostBenefitCoordinator&
 }
 
 CostBenefitCache::~CostBenefitCache() {
-  for (const auto& [object, _] : entries_) {
+  entries_.for_each([this](ObjectNum object, const Entry&) {
     coordinator_.on_copy_removed(object, this);
-  }
+  });
   coordinator_.unregister_member(this);
 }
 
@@ -138,17 +137,15 @@ InsertResult CostBenefitCache::insert(ObjectNum object, double /*cost*/) {
   result.inserted = true;
   obs_inserted();
   const Entry e{new_value, ++seq_};
-  entries_.emplace(object, e);
+  entries_[object] = e;
   order_.set(object, key_of(e));
   coordinator_.on_copy_added(object, this);
   return result;
 }
 
 bool CostBenefitCache::erase(ObjectNum object) {
-  const auto it = entries_.find(object);
-  if (it == entries_.end()) return false;
+  if (!entries_.erase(object)) return false;
   order_.erase(object);
-  entries_.erase(it);
   coordinator_.on_copy_removed(object, this);
   return true;
 }
@@ -161,21 +158,21 @@ std::optional<ObjectNum> CostBenefitCache::peek_victim() const {
 std::vector<ObjectNum> CostBenefitCache::contents() const {
   std::vector<ObjectNum> out;
   out.reserve(entries_.size());
-  for (const auto& [object, _] : entries_) out.push_back(object);
+  entries_.for_each([&out](ObjectNum object, const Entry&) { out.push_back(object); });
   return out;
 }
 
 double CostBenefitCache::value_of(ObjectNum object) const {
-  const auto it = entries_.find(object);
-  return it == entries_.end() ? 0.0 : it->second.value;
+  const Entry* e = entries_.find(object);
+  return e == nullptr ? 0.0 : e->value;
 }
 
 void CostBenefitCache::reprice(ObjectNum object, double new_value) {
-  const auto it = entries_.find(object);
-  assert(it != entries_.end() && "CostBenefitCache::reprice: object not cached");
-  if (it->second.value == new_value) return;  // no-op reprice, skip the heap push
-  it->second.value = new_value;
-  order_.set(object, key_of(it->second));
+  Entry* e = entries_.find(object);
+  assert(e != nullptr && "CostBenefitCache::reprice: object not cached");
+  if (e->value == new_value) return;  // no-op reprice, skip the heap push
+  e->value = new_value;
+  order_.set(object, key_of(*e));
 }
 
 }  // namespace webcache::cache

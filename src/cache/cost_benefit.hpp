@@ -28,12 +28,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/eviction_heap.hpp"
+#include "common/dense_map.hpp"
 
 namespace webcache::cache {
 
@@ -82,7 +82,17 @@ class CostBenefitCoordinator {
   double server_latency_;
   double proxy_latency_;
   std::vector<CostBenefitCache*> members_;
-  std::unordered_map<ObjectNum, std::vector<CostBenefitCache*>> holders_;
+  // Direct-indexed by object id (an empty vector = no cached copies). A
+  // cluster holds at most P pointers per object, so the slack is tiny and
+  // replica lookups become one array read.
+  std::vector<std::vector<CostBenefitCache*>> holders_;
+
+  std::vector<CostBenefitCache*>* find_holders(ObjectNum object) {
+    return object < holders_.size() && !holders_[object].empty() ? &holders_[object] : nullptr;
+  }
+  [[nodiscard]] const std::vector<CostBenefitCache*>* find_holders(ObjectNum object) const {
+    return object < holders_.size() && !holders_[object].empty() ? &holders_[object] : nullptr;
+  }
 };
 
 /// One proxy's cache under coordinated cost-benefit replacement.
@@ -105,6 +115,9 @@ class CostBenefitCache final : public Cache {
   InsertResult insert(ObjectNum object, double cost) override;
 
   bool erase(ObjectNum object) override;
+  void reserve_universe(std::size_t universe) override {
+    order_.reserve_universe(universe);
+  }
   [[nodiscard]] std::optional<ObjectNum> peek_victim() const override;
   [[nodiscard]] std::vector<ObjectNum> contents() const override;
 
@@ -118,8 +131,8 @@ class CostBenefitCache final : public Cache {
   void reprice(ObjectNum object, double new_value);
 
   struct Entry {
-    double value;
-    std::uint64_t seq;
+    double value = 0.0;
+    std::uint64_t seq = 0;
   };
   // seq is unique per entry (repricing keeps it), so (value, seq) orders
   // distinct objects totally — identical to the historical
@@ -131,7 +144,7 @@ class CostBenefitCache final : public Cache {
   CostBenefitCoordinator& coordinator_;
   std::uint64_t seq_ = 0;
   EvictionHeap<Key> order_;
-  std::unordered_map<ObjectNum, Entry> entries_;
+  FlatMap<Entry> entries_;
 };
 
 }  // namespace webcache::cache

@@ -5,43 +5,33 @@
 namespace webcache::cache {
 
 void GreedyDualCache::access(ObjectNum object, double cost) {
-  const auto it = entries_.find(object);
-  assert(it != entries_.end() && "GreedyDualCache::access: object not cached");
+  assert(order_.contains(object) && "GreedyDualCache::access: object not cached");
   obs_hit();
-  it->second.inflated_credit = cost + inflation_;
-  it->second.seq = ++seq_;
-  order_.set(object, key_of(it->second));
+  // A hit restores the credit to the (inflated) cost; the old value is
+  // irrelevant, so this is a single re-key with no entry lookup.
+  order_.set(object, Key{cost + inflation_, ++seq_});
 }
 
 InsertResult GreedyDualCache::insert(ObjectNum object, double cost) {
-  assert(!entries_.contains(object) && "GreedyDualCache::insert: object already cached");
+  assert(!order_.contains(object) && "GreedyDualCache::insert: object already cached");
   if (capacity_ == 0) return {};
 
   InsertResult result;
   result.inserted = true;
   obs_inserted();
-  if (entries_.size() >= capacity_) {
+  if (order_.size() >= capacity_) {
     const auto [victim_key, victim] = order_.top();
     // Deduct the minimum credit from everyone by raising the floor.
     inflation_ = victim_key.first;
     order_.pop();
-    entries_.erase(victim);
     result.evicted = victim;
     obs_evicted();
   }
-  const Entry e{cost + inflation_, ++seq_};
-  entries_.emplace(object, e);
-  order_.set(object, key_of(e));
+  order_.set(object, Key{cost + inflation_, ++seq_});
   return result;
 }
 
-bool GreedyDualCache::erase(ObjectNum object) {
-  const auto it = entries_.find(object);
-  if (it == entries_.end()) return false;
-  order_.erase(object);
-  entries_.erase(it);
-  return true;
-}
+bool GreedyDualCache::erase(ObjectNum object) { return order_.erase(object); }
 
 std::optional<ObjectNum> GreedyDualCache::peek_victim() const {
   if (order_.empty()) return std::nullopt;
@@ -50,15 +40,14 @@ std::optional<ObjectNum> GreedyDualCache::peek_victim() const {
 
 std::vector<ObjectNum> GreedyDualCache::contents() const {
   std::vector<ObjectNum> out;
-  out.reserve(entries_.size());
-  for (const auto& [object, _] : entries_) out.push_back(object);
+  out.reserve(order_.size());
+  order_.for_each_object([&out](ObjectNum object) { out.push_back(object); });
   return out;
 }
 
 double GreedyDualCache::credit(ObjectNum object) const {
-  const auto it = entries_.find(object);
-  if (it == entries_.end()) return 0.0;
-  return it->second.inflated_credit - inflation_;
+  const Key* k = order_.find(object);
+  return k == nullptr ? 0.0 : k->first - inflation_;
 }
 
 }  // namespace webcache::cache

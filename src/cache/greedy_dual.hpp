@@ -13,11 +13,10 @@
 // decrementing every credit on each eviction (O(n)), a global inflation
 // value L accumulates the deducted minima, credits are stored as H + L at
 // the time they were set, and comparisons remain consistent — O(log n) per
-// operation via a lazy-deletion eviction heap.
+// operation via an indexed eviction heap.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 
 #include "cache/cache.hpp"
@@ -29,9 +28,9 @@ class GreedyDualCache final : public Cache {
  public:
   explicit GreedyDualCache(std::size_t capacity) : Cache(capacity) {}
 
-  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const override { return order_.size(); }
   [[nodiscard]] bool contains(ObjectNum object) const override {
-    return entries_.contains(object);
+    return order_.contains(object);
   }
 
   /// On a hit, the object's credit resets to `cost` (plus inflation).
@@ -42,6 +41,9 @@ class GreedyDualCache final : public Cache {
   InsertResult insert(ObjectNum object, double cost) override;
 
   bool erase(ObjectNum object) override;
+  void reserve_universe(std::size_t universe) override {
+    order_.reserve_universe(universe);
+  }
   [[nodiscard]] std::optional<ObjectNum> peek_victim() const override;
   [[nodiscard]] std::vector<ObjectNum> contents() const override;
 
@@ -53,20 +55,16 @@ class GreedyDualCache final : public Cache {
   [[nodiscard]] double inflation() const { return inflation_; }
 
  private:
-  struct Entry {
-    double inflated_credit;  // cost + inflation at set time
-    std::uint64_t seq;       // FIFO tie-break among equal credits
-  };
-  // seq is unique per entry, so (credit, seq) orders totally — identical to
-  // the historical std::set<tuple<credit, seq, object>> victim order.
+  // Per-object state is exactly (cost + inflation at set time, FIFO seq) —
+  // the eviction key itself — so the heap doubles as the only object index;
+  // there is no separate entry table to keep in sync. seq is unique per
+  // entry, so (credit, seq) orders totally — identical to the historical
+  // std::set<tuple<credit, seq, object>> victim order.
   using Key = std::pair<double, std::uint64_t>;
-
-  [[nodiscard]] static Key key_of(const Entry& e) { return {e.inflated_credit, e.seq}; }
 
   double inflation_ = 0.0;
   std::uint64_t seq_ = 0;
   EvictionHeap<Key> order_;
-  std::unordered_map<ObjectNum, Entry> entries_;
 };
 
 }  // namespace webcache::cache

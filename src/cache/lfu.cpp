@@ -5,17 +5,16 @@
 namespace webcache::cache {
 
 void LfuCache::access(ObjectNum object, double /*cost*/) {
-  const auto it = entries_.find(object);
-  assert(it != entries_.end() && "LfuCache::access: object not cached");
+  Entry* e = entries_.find(object);
+  assert(e != nullptr && "LfuCache::access: object not cached");
   obs_hit();
-  ++it->second.freq;
+  ++e->freq;
   // LFU-DA re-keys from the current floor on every hit, so a re-warming
   // object immediately out-keys everything the aging has devalued.
-  it->second.key = mode_ == LfuMode::kDynamicAging ? it->second.freq + aging_floor_
-                                                   : it->second.freq;
-  it->second.last_seq = ++seq_;
-  order_.set(object, key_of(it->second));
-  if (mode_ == LfuMode::kPerfect) ++history_[object];
+  e->key = mode_ == LfuMode::kDynamicAging ? e->freq + aging_floor_ : e->freq;
+  e->last_seq = ++seq_;
+  order_.set(object, key_of(*e));
+  if (mode_ == LfuMode::kPerfect) ++history_slot(object);
 }
 
 InsertResult LfuCache::insert(ObjectNum object, double /*cost*/) {
@@ -24,7 +23,7 @@ InsertResult LfuCache::insert(ObjectNum object, double /*cost*/) {
 
   std::uint64_t start_freq = 1;
   if (mode_ == LfuMode::kPerfect) {
-    start_freq = ++history_[object];
+    start_freq = ++history_slot(object);
   }
 
   InsertResult result;
@@ -46,16 +45,14 @@ InsertResult LfuCache::insert(ObjectNum object, double /*cost*/) {
   const Entry e{start_freq,
                 mode_ == LfuMode::kDynamicAging ? start_freq + aging_floor_ : start_freq,
                 ++seq_};
-  entries_.emplace(object, e);
+  entries_[object] = e;
   order_.set(object, key_of(e));
   return result;
 }
 
 bool LfuCache::erase(ObjectNum object) {
-  const auto it = entries_.find(object);
-  if (it == entries_.end()) return false;
+  if (!entries_.erase(object)) return false;
   order_.erase(object);
-  entries_.erase(it);
   return true;
 }
 
@@ -67,15 +64,13 @@ std::optional<ObjectNum> LfuCache::peek_victim() const {
 std::vector<ObjectNum> LfuCache::contents() const {
   std::vector<ObjectNum> out;
   out.reserve(entries_.size());
-  for (const auto& [object, _] : entries_) out.push_back(object);
+  entries_.for_each([&out](ObjectNum object, const Entry&) { out.push_back(object); });
   return out;
 }
 
 std::uint64_t LfuCache::frequency(ObjectNum object) const {
-  if (const auto it = entries_.find(object); it != entries_.end()) return it->second.freq;
-  if (mode_ == LfuMode::kPerfect) {
-    if (const auto it = history_.find(object); it != history_.end()) return it->second;
-  }
+  if (const Entry* e = entries_.find(object)) return e->freq;
+  if (mode_ == LfuMode::kPerfect && object < history_.size()) return history_[object];
   return 0;
 }
 

@@ -18,11 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/eviction_heap.hpp"
+#include "common/dense_map.hpp"
 
 namespace webcache::cache {
 
@@ -45,6 +46,9 @@ class LfuCache final : public Cache {
   void access(ObjectNum object, double cost) override;
   InsertResult insert(ObjectNum object, double cost) override;
   bool erase(ObjectNum object) override;
+  void reserve_universe(std::size_t universe) override {
+    order_.reserve_universe(universe);
+  }
   [[nodiscard]] std::optional<ObjectNum> peek_victim() const override;
   [[nodiscard]] std::vector<ObjectNum> contents() const override;
 
@@ -59,9 +63,9 @@ class LfuCache final : public Cache {
 
  private:
   struct Entry {
-    std::uint64_t freq;  ///< observed access count
-    std::uint64_t key;   ///< eviction key: freq (+ aging floor in kDynamicAging)
-    std::uint64_t last_seq;
+    std::uint64_t freq = 0;  ///< observed access count
+    std::uint64_t key = 0;   ///< eviction key: freq (+ aging floor in kDynamicAging)
+    std::uint64_t last_seq = 0;
   };
   // Ordered by (key, recency): the heap minimum is the eviction victim, with
   // the least recent access breaking key ties. last_seq is unique per entry,
@@ -74,10 +78,16 @@ class LfuCache final : public Cache {
   std::uint64_t seq_ = 0;
   std::uint64_t aging_floor_ = 0;
   EvictionHeap<Key> order_;
-  std::unordered_map<ObjectNum, Entry> entries_;
+  FlatMap<Entry> entries_;
   // Persistent counts for kPerfect mode (also counts accesses to objects
-  // made while cached, so the count is the true observed frequency).
-  std::unordered_map<ObjectNum, std::uint64_t> history_;
+  // made while cached, so the count is the true observed frequency), indexed
+  // directly by the dense object id.
+  std::vector<std::uint64_t> history_;
+
+  std::uint64_t& history_slot(ObjectNum object) {
+    if (object >= history_.size()) history_.resize(static_cast<std::size_t>(object) + 1, 0);
+    return history_[object];
+  }
 };
 
 }  // namespace webcache::cache

@@ -5,10 +5,10 @@
 namespace webcache::cache {
 
 void LruCache::access(ObjectNum object, double /*cost*/) {
-  const auto it = index_.find(object);
-  assert(it != index_.end() && "LruCache::access: object not cached");
+  auto* pos = index_.find(object);
+  assert(pos != nullptr && "LruCache::access: object not cached");
   obs_hit();
-  order_.splice(order_.begin(), order_, it->second);
+  order_.splice(order_.begin(), order_, *pos);
 }
 
 InsertResult LruCache::insert(ObjectNum object, double /*cost*/) {
@@ -25,15 +25,15 @@ InsertResult LruCache::insert(ObjectNum object, double /*cost*/) {
     obs_evicted();
   }
   order_.push_front(object);
-  index_.emplace(object, order_.begin());
+  index_[object] = order_.begin();
   return result;
 }
 
 bool LruCache::erase(ObjectNum object) {
-  const auto it = index_.find(object);
-  if (it == index_.end()) return false;
-  order_.erase(it->second);
-  index_.erase(it);
+  auto* pos = index_.find(object);
+  if (pos == nullptr) return false;
+  order_.erase(*pos);
+  index_.erase(object);
   return true;
 }
 

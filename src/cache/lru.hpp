@@ -5,9 +5,9 @@
 #pragma once
 
 #include <list>
-#include <unordered_map>
 
 #include "cache/cache.hpp"
+#include "common/dense_map.hpp"
 
 namespace webcache::cache {
 
@@ -29,7 +29,7 @@ class LruCache final : public Cache {
  private:
   // Front = most recently used.
   std::list<ObjectNum> order_;
-  std::unordered_map<ObjectNum, std::list<ObjectNum>::iterator> index_;
+  FlatMap<std::list<ObjectNum>::iterator> index_;
 };
 
 }  // namespace webcache::cache

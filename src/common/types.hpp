@@ -3,9 +3,12 @@
 // mixed up at call sites.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <string_view>
 
 namespace webcache {
 
@@ -31,11 +34,32 @@ struct Request {
   ObjectSize size = 1;      ///< object size (1 in the paper's experiments)
 };
 
+/// Prefix of every canonical object URL (see object_url).
+inline constexpr std::string_view kObjectUrlPrefix = "http://origin.example.com/object/";
+
+/// Stack buffer large enough for any canonical object URL: the 33-byte
+/// prefix plus at most 10 decimal digits of a 32-bit id.
+struct ObjectUrlBuffer {
+  char data[48];
+};
+
+/// Formats the canonical URL of a dense object id into `buf` and returns a
+/// view of it — no heap allocation, for hot loops that hash millions of URLs
+/// (ring-placement table construction).
+[[nodiscard]] inline std::string_view object_url(ObjectNum object, ObjectUrlBuffer& buf) {
+  std::memcpy(buf.data, kObjectUrlPrefix.data(), kObjectUrlPrefix.size());
+  const auto [end, ec] = std::to_chars(buf.data + kObjectUrlPrefix.size(),
+                                       buf.data + sizeof(buf.data), object);
+  (void)ec;  // cannot fail: the buffer fits any 32-bit value
+  return {buf.data, static_cast<std::size_t>(end - buf.data)};
+}
+
 /// Canonical URL for a dense object id. The simulator mostly works with
 /// dense ids; URLs only matter where the paper specifies SHA-1(URL), i.e.
 /// when placing objects on the Pastry ring.
 [[nodiscard]] inline std::string object_url(ObjectNum object) {
-  return "http://origin.example.com/object/" + std::to_string(object);
+  ObjectUrlBuffer buf;
+  return std::string(object_url(object, buf));
 }
 
 }  // namespace webcache

@@ -10,6 +10,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "directory/directory.hpp"
 #include "workload/trace_stats.hpp"
 
 namespace webcache::core {
@@ -94,6 +95,16 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
     shared_stats = std::make_shared<const workload::TraceStats>(workload::analyze(trace));
   }
 
+  // Likewise, one ring-placement table (objectId = SHA-1 of the object URL)
+  // shared by every Hier-GD/Squirrel job: the table is a pure function of the
+  // object universe, and hashing it is O(objects) per simulator otherwise.
+  std::shared_ptr<const std::vector<Uint128>> shared_object_ids;
+  if (std::any_of(config.schemes.begin(), config.schemes.end(), [](sim::Scheme s) {
+        return s == sim::Scheme::kHierGD || s == sim::Scheme::kSquirrel;
+      })) {
+    shared_object_ids = directory::build_object_id_table(trace.distinct_objects);
+  }
+
   // Flatten all independent runs into one job list. Job index j encodes
   // (size i, scheme k) with k == num_schemes meaning the NC baseline.
   struct Job {
@@ -112,7 +123,8 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
   const auto make_config = [&](std::size_t size_index, sim::Scheme scheme) {
     sim::SimConfig c = config.base;
     c.scheme = scheme;
-    c.trace_stats = shared_stats;  // only FC/FC-EC read it
+    c.trace_stats = shared_stats;      // only FC/FC-EC read it
+    c.object_ids = shared_object_ids;  // only Hier-GD/Squirrel read it
     c.proxy_capacity =
         capacity_from_percent(config.cache_percents[size_index], result.infinite_cache_size);
     c.client_cache_capacity = result.client_cache_capacity;

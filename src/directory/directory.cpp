@@ -49,8 +49,9 @@ bool BloomDirectory::audit_contains(ObjectNum object) const {
 std::shared_ptr<const std::vector<Uint128>> build_object_id_table(ObjectNum distinct_objects) {
   auto table = std::make_shared<std::vector<Uint128>>();
   table->reserve(distinct_objects);
+  ObjectUrlBuffer buf;  // one stack buffer for the whole table — no per-URL heap churn
   for (ObjectNum o = 0; o < distinct_objects; ++o) {
-    table->push_back(Sha1::hash128(object_url(o)));
+    table->push_back(Sha1::hash128(object_url(o, buf)));
   }
   return table;
 }

@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "bloom/counting_bloom.hpp"
+#include "common/dense_map.hpp"
 #include "common/types.hpp"
 #include "common/uint128.hpp"
 #include "obs/registry.hpp"
@@ -79,7 +79,9 @@ class LookupDirectory {
   obs::Counter& c_positives_;
 };
 
-/// Hashtable of the objectIds cached in the P2P client cache.
+/// Exact membership index of the objects cached in the P2P client cache.
+/// Objects are dense ids, so the "hashtable of objectIds" the paper describes
+/// reduces to a flat stamp array indexed by id — no hashing at all.
 class ExactDirectory final : public LookupDirectory {
  public:
   using LookupDirectory::LookupDirectory;
@@ -102,14 +104,14 @@ class ExactDirectory final : public LookupDirectory {
   }
   [[nodiscard]] std::size_t entry_count() const override { return entries_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override {
-    // Hashtable of 128-bit objectIds (as the paper describes it): id plus
-    // typical open-hashing overhead of one pointer per entry.
-    return entries_.size() * (sizeof(Uint128) + sizeof(void*));
+    // The flat representation's honest cost: one 32-bit stamp per object in
+    // the universe touched so far, regardless of how many are resident.
+    return entries_.memory_bytes();
   }
   [[nodiscard]] std::string kind() const override { return "exact"; }
 
  private:
-  std::unordered_set<ObjectNum> entries_;
+  DenseSet entries_;
 };
 
 /// Counting-Bloom-filter directory over SHA-1 objectIds.

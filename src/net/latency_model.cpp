@@ -25,27 +25,4 @@ LatencyModel::LatencyModel(double server, double proxy_to_proxy, double client_t
   }
 }
 
-double LatencyModel::request_latency(ServedFrom where) const {
-  // A browser hit never leaves the client machine.
-  if (where == ServedFrom::kBrowser) return 0.0;
-  return client_ + fetch_cost(where);
-}
-
-double LatencyModel::fetch_cost(ServedFrom where) const {
-  switch (where) {
-    case ServedFrom::kBrowser:
-    case ServedFrom::kLocalProxy:
-      return 0.0;
-    case ServedFrom::kLocalP2P:
-      return p2p_;
-    case ServedFrom::kRemoteProxy:
-      return proxy_;
-    case ServedFrom::kRemoteP2P:
-      return proxy_ + p2p_;
-    case ServedFrom::kOriginServer:
-      return server_;
-  }
-  throw std::logic_error("LatencyModel: unknown ServedFrom");
-}
-
 }  // namespace webcache::net

@@ -43,11 +43,32 @@ class LatencyModel {
   [[nodiscard]] double p2p_fetch() const { return p2p_; }           ///< Tp2p
 
   /// End-to-end latency the requesting client observes for each outcome.
-  [[nodiscard]] double request_latency(ServedFrom where) const;
+  /// Inline: the simulator calls this (and fetch_cost) several times per
+  /// simulated request.
+  [[nodiscard]] double request_latency(ServedFrom where) const {
+    // A browser hit never leaves the client machine.
+    if (where == ServedFrom::kBrowser) return 0.0;
+    return client_ + fetch_cost(where);
+  }
 
   /// The cost the *proxy* paid to obtain the object — the retrieval cost
   /// greedy-dual credits objects with (Tl excluded: it is paid regardless).
-  [[nodiscard]] double fetch_cost(ServedFrom where) const;
+  [[nodiscard]] double fetch_cost(ServedFrom where) const {
+    switch (where) {
+      case ServedFrom::kBrowser:
+      case ServedFrom::kLocalProxy:
+        return 0.0;
+      case ServedFrom::kLocalP2P:
+        return p2p_;
+      case ServedFrom::kRemoteProxy:
+        return proxy_;
+      case ServedFrom::kRemoteP2P:
+        return proxy_ + p2p_;
+      case ServedFrom::kOriginServer:
+        return server_;
+    }
+    throw std::logic_error("LatencyModel: unknown ServedFrom");
+  }
 
   /// Extra latency per lost-then-retried P2P transfer: the timed-out attempt
   /// costs a full Tp2p before the retransmission goes out. Used by the fault

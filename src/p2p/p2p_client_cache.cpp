@@ -47,6 +47,7 @@ P2PClientCache::P2PClientCache(P2PConfig config,
   obs::Registry& reg = obs::ensure_registry(registry, owned_registry_);
   registry_ = &reg;
   const std::string cache_prefix = config_.name_prefix + ".client_cache.";
+  location_.reserve(object_ids_->size());
   nodes_.reserve(config_.clients);
   for (ClientNum c = 0; c < config_.clients; ++c) {
     ClientNode node;
@@ -55,8 +56,9 @@ P2PClientCache::P2PClientCache(P2PConfig config,
     // Every client cache binds to the same cluster-wide prefix, so the
     // counters aggregate across the whole P2P client cache.
     node.cache->bind_observability(reg, cache_prefix);
-    overlay_.add_node(node.id);
-    node_index_.emplace(node.id, nodes_.size());
+    const std::uint32_t slot = overlay_.add_node(node.id);
+    assert(slot == nodes_.size() && "client index must equal overlay slot");
+    (void)slot;
     nodes_.push_back(std::move(node));
   }
 }
@@ -68,10 +70,21 @@ const Uint128& P2PClientCache::id_of(ObjectNum object) const {
   return (*object_ids_)[object];
 }
 
-std::size_t P2PClientCache::index_of(const pastry::NodeId& id) const {
-  const auto it = node_index_.find(id);
-  assert(it != node_index_.end() && "P2PClientCache: unknown node id");
-  return it->second;
+const std::vector<ClientNum>& P2PClientCache::leaf_clients_of(std::size_t root_idx) {
+  ClientNode& root = nodes_[root_idx];
+  const std::uint64_t version = overlay_.topology_version();
+  if (root.leaf_version != version) {
+    root.leaf_clients.clear();
+    // Same enumeration order as a direct leaf-set scan; members may be stale
+    // (dead) — slots are permanent, so they still resolve, and the scan
+    // filters on alive.
+    overlay_.leaf_set(root.id).visit_members([&](const pastry::NodeId& leaf_id) {
+      root.leaf_clients.push_back(static_cast<ClientNum>(overlay_.slot_of(leaf_id)));
+      return false;
+    });
+    root.leaf_version = version;
+  }
+  return root.leaf_clients;
 }
 
 std::size_t P2PClientCache::total_capacity() const {
@@ -85,13 +98,10 @@ std::size_t P2PClientCache::total_capacity() const {
 void P2PClientCache::detach(ObjectNum object, std::size_t idx) {
   ClientNode& holder = nodes_[idx];
   holder.cache->erase(object);
-  if (const auto it = holder.diverted_in.find(object); it != holder.diverted_in.end()) {
+  if (const ClientNum* root_idx = holder.diverted_in.find(object)) {
     // Tell the root its pointer is dangling.
-    const auto root_it = node_index_.find(it->second);
-    if (root_it != node_index_.end()) {
-      nodes_[root_it->second].diverted_out.erase(object);
-    }
-    holder.diverted_in.erase(it);
+    nodes_[*root_idx].diverted_out.erase(object);
+    holder.diverted_in.erase(object);
   }
   location_.erase(object);
 }
@@ -99,12 +109,9 @@ void P2PClientCache::detach(ObjectNum object, std::size_t idx) {
 void P2PClientCache::on_local_eviction(ObjectNum victim, std::size_t idx) {
   // "The evicted object from the client cache is simply discarded."
   ClientNode& holder = nodes_[idx];
-  if (const auto it = holder.diverted_in.find(victim); it != holder.diverted_in.end()) {
-    const auto root_it = node_index_.find(it->second);
-    if (root_it != node_index_.end()) {
-      nodes_[root_it->second].diverted_out.erase(victim);
-    }
-    holder.diverted_in.erase(it);
+  if (const ClientNum* root_idx = holder.diverted_in.find(victim)) {
+    nodes_[*root_idx].diverted_out.erase(victim);
+    holder.diverted_in.erase(victim);
   }
   location_.erase(victim);
 }
@@ -118,19 +125,20 @@ StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_
   // A live copy may already exist (e.g. the proxy re-fetched from the origin
   // after a Bloom false negative never happens, but SC-style double-destage
   // can); refresh its credit instead of double-storing.
-  if (const auto it = location_.find(object); it != location_.end()) {
-    nodes_[it->second].cache->access(object, cost);
+  if (const std::uint32_t* holder = location_.find(object)) {
+    nodes_[*holder].cache->access(object, cost);
     outcome.stored = true;
     outcome.already_present = true;
     return outcome;
   }
 
-  // Route the piggybacked object from the carrying client to the root.
-  const auto route = overlay_.route(nodes_[via_client].id, id_of(object));
+  // Route the piggybacked object from the carrying client to the root
+  // (client index == overlay slot, so both ends skip the NodeId hashes).
+  const auto route = overlay_.route(static_cast<std::uint32_t>(via_client), id_of(object));
   outcome.hops = route.hops;
   msg_.pastry_forward_messages.inc(route.hops);
 
-  const std::size_t root_idx = index_of(route.destination);
+  const std::size_t root_idx = route.destination_slot;
   ClientNode& root = nodes_[root_idx];
 
   // (3)-(5): root has free space -> store locally.
@@ -138,37 +146,35 @@ StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_
     const auto ins = root.cache->insert(object, cost);
     if (!ins.inserted) return outcome;  // capacity-0 client caches
     assert(!ins.evicted.has_value());
-    location_[object] = root_idx;
+    location_[object] = static_cast<std::uint32_t>(root_idx);
     outcome.stored = true;
     msg_.store_receipts.inc();
     return outcome;
   }
 
   // (7)-(10): object diversion — find a leaf-set member with free space.
-  // visit_members iterates the leaf set in place; the first successful
-  // transfer stops the scan.
+  // The member list is the cached leaf set resolved to client indices (same
+  // order as a direct scan); a client is storable iff it is alive — a dead
+  // leaf reference the root has not yet repaired maps to !alive here, which
+  // is exactly the overlay-membership check the old NodeId path did.
   if (config_.enable_diversion) {
-    const bool diverted =
-        overlay_.leaf_set(root.id).visit_members([&](const pastry::NodeId& leaf_id) {
-          const auto leaf_it = node_index_.find(leaf_id);
-          if (leaf_it == node_index_.end()) return false;
-          ClientNode& peer = nodes_[leaf_it->second];
-          if (!peer.alive || !overlay_.contains(peer.id) || peer.cache->full()) return false;
-          const auto ins = peer.cache->insert(object, cost);
-          if (!ins.inserted) return false;
-          assert(!ins.evicted.has_value());
-          peer.diverted_in.emplace(object, root.id);
-          root.diverted_out.emplace(object, peer.id);
-          location_[object] = leaf_it->second;
-          outcome.stored = true;
-          outcome.diverted = true;
-          outcome.hops += 1;  // root -> peer transfer
-          msg_.diversions.inc();
-          msg_.pastry_forward_messages.inc();
-          msg_.store_receipts.inc();
-          return true;
-        });
-    if (diverted) return outcome;
+    for (const ClientNum peer_idx : leaf_clients_of(root_idx)) {
+      ClientNode& peer = nodes_[peer_idx];
+      if (!peer.alive || peer.cache->full()) continue;
+      const auto ins = peer.cache->insert(object, cost);
+      if (!ins.inserted) continue;
+      assert(!ins.evicted.has_value());
+      peer.diverted_in[object] = static_cast<ClientNum>(root_idx);
+      root.diverted_out[object] = peer_idx;
+      location_[object] = peer_idx;
+      outcome.stored = true;
+      outcome.diverted = true;
+      outcome.hops += 1;  // root -> peer transfer
+      msg_.diversions.inc();
+      msg_.pastry_forward_messages.inc();
+      msg_.store_receipts.inc();
+      return outcome;
+    }
   }
 
   // (12)-(14): whole neighborhood full — local greedy-dual replacement.
@@ -178,7 +184,7 @@ StoreOutcome P2PClientCache::store(ObjectNum object, double cost, ClientNum via_
     on_local_eviction(*ins.evicted, root_idx);
     outcome.displaced = ins.evicted;
   }
-  location_[object] = root_idx;
+  location_[object] = static_cast<std::uint32_t>(root_idx);
   outcome.stored = true;
   msg_.store_receipts.inc();
   return outcome;
@@ -190,20 +196,18 @@ FetchOutcome P2PClientCache::fetch(ObjectNum object, ClientNum via_client, bool 
     throw std::invalid_argument("P2PClientCache::fetch: via_client invalid or dead");
   }
 
-  const auto route = overlay_.route(nodes_[via_client].id, id_of(object));
+  const auto route = overlay_.route(static_cast<std::uint32_t>(via_client), id_of(object));
   outcome.hops = route.hops;
   msg_.pastry_forward_messages.inc(route.hops);
 
-  const std::size_t root_idx = index_of(route.destination);
+  const std::size_t root_idx = route.destination_slot;
   ClientNode& root = nodes_[root_idx];
 
   std::size_t holder_idx = root_idx;
   if (!root.cache->contains(object)) {
-    const auto div = root.diverted_out.find(object);
-    if (div == root.diverted_out.end()) return outcome;  // miss (false positive)
-    const auto peer_it = node_index_.find(div->second);
-    if (peer_it == node_index_.end()) return outcome;
-    holder_idx = peer_it->second;
+    const ClientNum* peer_idx = root.diverted_out.find(object);
+    if (peer_idx == nullptr) return outcome;  // miss (false positive)
+    holder_idx = *peer_idx;
     if (!nodes_[holder_idx].alive || !nodes_[holder_idx].cache->contains(object)) {
       return outcome;  // dangling pointer after a failure
     }
@@ -240,14 +244,12 @@ std::vector<ObjectNum> P2PClientCache::fail_client(ClientNum client) {
   // but become unreachable through the (dead) root — drop them too, as the
   // new root cannot know about them. This mirrors what a real deployment
   // loses on a root crash before re-replication.
-  for (const auto& [object, peer_id] : node.diverted_out) {
-    const auto peer_it = node_index_.find(peer_id);
-    if (peer_it == node_index_.end()) continue;
-    nodes_[peer_it->second].cache->erase(object);
-    nodes_[peer_it->second].diverted_in.erase(object);
+  node.diverted_out.for_each([&](ObjectNum object, ClientNum peer_idx) {
+    nodes_[peer_idx].cache->erase(object);
+    nodes_[peer_idx].diverted_in.erase(object);
     location_.erase(object);
     lost.push_back(object);
-  }
+  });
   node.diverted_out.clear();
 
   node.alive = false;
@@ -276,8 +278,9 @@ ClientNum P2PClientCache::add_client() {
   node.id = pastry::node_id_for(config_.name_prefix + "/client" + std::to_string(index));
   node.cache = std::make_unique<cache::GreedyDualCache>(client_capacity(config_, index));
   node.cache->bind_observability(*registry_, config_.name_prefix + ".client_cache.");
-  overlay_.add_node(node.id);
-  node_index_.emplace(node.id, nodes_.size());
+  const std::uint32_t slot = overlay_.add_node(node.id);
+  assert(slot == index && "client index must equal overlay slot");
+  (void)slot;
   nodes_.push_back(std::move(node));
   return index;
 }
@@ -321,7 +324,7 @@ double P2PClientCache::utilization_cv() const {
 std::vector<ObjectNum> P2PClientCache::resident_objects() const {
   std::vector<ObjectNum> objects;
   objects.reserve(location_.size());
-  for (const auto& [object, idx] : location_) objects.push_back(object);
+  location_.for_each([&objects](ObjectNum object, std::uint32_t) { objects.push_back(object); });
   return objects;
 }
 
@@ -330,10 +333,10 @@ std::vector<std::string> P2PClientCache::audit_violations() const {
   const auto fail = [&v](std::string msg) { v.push_back(std::move(msg)); };
 
   // Location index -> node caches.
-  for (const auto& [object, idx] : location_) {
+  location_.for_each([&](ObjectNum object, std::uint32_t idx) {
     if (idx >= nodes_.size()) {
       fail("location of object " + std::to_string(object) + " points past the node list");
-      continue;
+      return;
     }
     const ClientNode& holder = nodes_[idx];
     if (!holder.alive) {
@@ -344,7 +347,7 @@ std::vector<std::string> P2PClientCache::audit_violations() const {
       fail("object " + std::to_string(object) + " located at client " +
            std::to_string(idx) + " but absent from its cache");
     }
-  }
+  });
 
   for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
     const ClientNode& node = nodes_[idx];
@@ -353,8 +356,8 @@ std::vector<std::string> P2PClientCache::audit_violations() const {
       fail("client " + std::to_string(idx) + " cache over capacity");
     }
     for (const auto object : node.cache->contents()) {
-      const auto it = location_.find(object);
-      if (it == location_.end() || it->second != idx) {
+      const std::uint32_t* loc = location_.find(object);
+      if (loc == nullptr || *loc != idx) {
         fail("object " + std::to_string(object) + " cached at client " +
              std::to_string(idx) + " without a matching location entry");
       }
@@ -367,36 +370,34 @@ std::vector<std::string> P2PClientCache::audit_violations() const {
       continue;
     }
     // Diversion pointer symmetry: root's diverted_out ↔ peer's diverted_in.
-    for (const auto& [object, peer_id] : node.diverted_out) {
-      const auto peer_it = node_index_.find(peer_id);
-      if (peer_it == node_index_.end()) {
+    node.diverted_out.for_each([&](ObjectNum object, ClientNum peer_idx) {
+      if (peer_idx >= nodes_.size()) {
         fail("diverted_out of client " + std::to_string(idx) + " names an unknown peer");
-        continue;
+        return;
       }
-      const ClientNode& peer = nodes_[peer_it->second];
-      const auto back = peer.diverted_in.find(object);
-      if (!peer.alive || back == peer.diverted_in.end() || back->second != node.id) {
+      const ClientNode& peer = nodes_[peer_idx];
+      const ClientNum* back = peer.diverted_in.find(object);
+      if (!peer.alive || back == nullptr || *back != idx) {
         fail("diversion pointer for object " + std::to_string(object) +
              " (root client " + std::to_string(idx) + ") has no live back-pointer");
       }
-      const auto loc = location_.find(object);
-      if (loc == location_.end() || loc->second != peer_it->second) {
+      const std::uint32_t* loc = location_.find(object);
+      if (loc == nullptr || *loc != peer_idx) {
         fail("diverted object " + std::to_string(object) + " not located at its peer");
       }
-    }
-    for (const auto& [object, root_id] : node.diverted_in) {
-      const auto root_it = node_index_.find(root_id);
-      if (root_it == node_index_.end()) {
+    });
+    node.diverted_in.for_each([&](ObjectNum object, ClientNum root_idx) {
+      if (root_idx >= nodes_.size()) {
         fail("diverted_in of client " + std::to_string(idx) + " names an unknown root");
-        continue;
+        return;
       }
-      const ClientNode& root = nodes_[root_it->second];
-      const auto fwd = root.diverted_out.find(object);
-      if (!root.alive || fwd == root.diverted_out.end() || fwd->second != node.id) {
+      const ClientNode& root = nodes_[root_idx];
+      const ClientNum* fwd = root.diverted_out.find(object);
+      if (!root.alive || fwd == nullptr || *fwd != idx) {
         fail("held-for-root object " + std::to_string(object) + " (client " +
              std::to_string(idx) + ") has no live forward pointer");
       }
-    }
+    });
   }
   return v;
 }

@@ -24,10 +24,10 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/greedy_dual.hpp"
+#include "common/dense_map.hpp"
 #include "common/types.hpp"
 #include "common/uint128.hpp"
 #include "net/message_stats.hpp"
@@ -161,19 +161,32 @@ class P2PClientCache {
   [[nodiscard]] std::vector<std::string> audit_violations() const;
 
  private:
+  /// Clients are identified by dense indices throughout: a client's index
+  /// equals its permanent overlay slot (asserted at join), so routing results
+  /// and diversion pointers address nodes_ directly — no NodeId hashing on
+  /// the hot path.
   struct ClientNode {
     pastry::NodeId id;
     bool alive = true;
     std::unique_ptr<cache::GreedyDualCache> cache;
-    /// Objects this node is root for but that live at a leaf-set peer.
-    std::unordered_map<ObjectNum, pastry::NodeId> diverted_out;
-    /// Objects stored here on behalf of another root (value = the root).
-    std::unordered_map<ObjectNum, pastry::NodeId> diverted_in;
+    /// Objects this node is root for but that live at a leaf-set peer
+    /// (value = the peer's client index).
+    FlatMap<ClientNum> diverted_out;
+    /// Objects stored here on behalf of another root (value = the root's
+    /// client index).
+    FlatMap<ClientNum> diverted_in;
+    /// Leaf-set membership resolved to client indices, revalidated against
+    /// the overlay's topology version (stale after any join/crash/repair).
+    std::vector<ClientNum> leaf_clients;
+    std::uint64_t leaf_version = kNoLeafVersion;
   };
+  static constexpr std::uint64_t kNoLeafVersion = ~std::uint64_t{0};
 
   [[nodiscard]] const Uint128& id_of(ObjectNum object) const;
-  [[nodiscard]] std::size_t index_of(const pastry::NodeId& id) const;
-  ClientNode& node_at(std::size_t idx) { return nodes_[idx]; }
+
+  /// Client indices of `root_idx`'s current leaf-set members, in leaf-set
+  /// iteration order (may include dead clients; callers filter on alive).
+  const std::vector<ClientNum>& leaf_clients_of(std::size_t root_idx);
 
   /// Removes every bookkeeping trace of `object` stored at node `idx`.
   void detach(ObjectNum object, std::size_t idx);
@@ -191,9 +204,9 @@ class P2PClientCache {
   std::unique_ptr<obs::Registry> owned_registry_;
   pastry::Overlay overlay_;
   std::vector<ClientNode> nodes_;
-  std::unordered_map<pastry::NodeId, std::size_t, Uint128Hash> node_index_;
-  /// object -> index of the node physically storing it.
-  std::unordered_map<ObjectNum, std::size_t> location_;
+  /// object -> index of the node physically storing it (direct-indexed by
+  /// the dense object id; sized to the id table).
+  DenseMap<std::uint32_t> location_;
   net::MessageCounters msg_;
 };
 

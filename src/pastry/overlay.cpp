@@ -63,13 +63,23 @@ std::optional<NodeId> Overlay::first_alive_in(const Uint128& lo, const Uint128& 
   return std::nullopt;
 }
 
-NodeId Overlay::root_of(const Uint128& key) const {
-  if (sorted_ids_.empty()) throw std::logic_error("Overlay::root_of: empty overlay");
-  const auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), key);
+const Overlay::RingEntry& Overlay::root_entry(const Uint128& key) const {
+  if (sorted_.empty()) throw std::logic_error("Overlay::root_of: empty overlay");
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [](const RingEntry& e, const Uint128& k) { return e.id < k; });
   // Candidates: successor (with wrap) and predecessor (with wrap).
-  const NodeId succ = (it == sorted_ids_.end()) ? sorted_ids_.front() : *it;
-  const NodeId pred = (it == sorted_ids_.begin()) ? sorted_ids_.back() : *std::prev(it);
-  return closer_to(key, pred, succ) ? pred : succ;
+  const RingEntry& succ = (it == sorted_.end()) ? sorted_.front() : *it;
+  const RingEntry& pred = (it == sorted_.begin()) ? sorted_.back() : *std::prev(it);
+  return closer_to(key, pred.id, succ.id) ? pred : succ;
+}
+
+NodeId Overlay::root_of(const Uint128& key) const { return root_entry(key).id; }
+
+std::uint32_t Overlay::slot_of(const NodeId& id) const {
+  const auto it = slot_ids_.find(id);
+  if (it == slot_ids_.end()) throw std::out_of_range("Overlay::slot_of: unknown node id");
+  return it->second;
 }
 
 void Overlay::rebuild_leaf_set(NodeState& node) {
@@ -139,18 +149,32 @@ bool Overlay::refill_slot(NodeState& node, unsigned row, unsigned column) {
   return node.table.insert(*candidate, /*replace=*/true);
 }
 
-void Overlay::add_node(const NodeId& id) { add_node(id, default_coordinates(id)); }
+std::uint32_t Overlay::add_node(const NodeId& id) {
+  return add_node(id, default_coordinates(id));
+}
 
 const Coordinates& Overlay::coordinates_of(const NodeId& id) const {
   return state_of(id).coords;
 }
 
-void Overlay::add_node(const NodeId& id, const Coordinates& where) {
+std::uint32_t Overlay::add_node(const NodeId& id, const Coordinates& where) {
   if (ring_.contains(id)) throw std::invalid_argument("Overlay: duplicate node id");
   auto [it, _] = ring_.emplace(id, NodeState(id, config_, where));
   NodeState& self = it->second;
   index_.emplace(id, &self);
-  sorted_ids_.insert(std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id), id);
+  // Permanent slot: a rejoining id gets its old slot back, a new id the next
+  // sequential one, so slot-indexed arrays outside the overlay stay valid
+  // across churn.
+  const auto [slot_it, fresh] =
+      slot_ids_.emplace(id, static_cast<std::uint32_t>(slots_.size()));
+  self.slot = slot_it->second;
+  if (fresh) slots_.push_back(nullptr);
+  slots_[self.slot] = &self;
+  const auto pos = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const RingEntry& e, const NodeId& k) { return e.id < k; });
+  sorted_.insert(pos, RingEntry{id, &self});
+  ++topology_version_;
 
   // Newcomer state: the join protocol copies routing rows from the nodes on
   // the join path and the leaf set from the root; the converged result is
@@ -217,13 +241,19 @@ void Overlay::add_node(const NodeId& id, const Coordinates& where) {
       if (replace_dead) counters_.repairs.inc();
     }
   }
+  return self.slot;
 }
 
 void Overlay::remove_node(const NodeId& id) {
-  if (!ring_.contains(id)) throw std::invalid_argument("Overlay: unknown node id");
-  ring_.erase(id);
+  const auto it = ring_.find(id);
+  if (it == ring_.end()) throw std::invalid_argument("Overlay: unknown node id");
+  slots_[it->second.slot] = nullptr;
+  ring_.erase(it);
   index_.erase(id);
-  sorted_ids_.erase(std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id));
+  sorted_.erase(std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const RingEntry& e, const NodeId& k) { return e.id < k; }));
+  ++topology_version_;
   // Graceful leave: departure is announced, peers repair immediately.
   for (auto& [other_id, other] : ring_) {
     if (other.leaves.erase(id)) rebuild_leaf_set(other);
@@ -246,10 +276,14 @@ void Overlay::fail_node(const NodeId& id) {
   failed_coords_.insert_or_assign(id, it->second.coords);
   // Crash: the node vanishes from the live set but peers keep stale
   // references until they detect the failure.
+  slots_[it->second.slot] = nullptr;
   ring_.erase(it);
   index_.erase(id);
-  sorted_ids_.erase(std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id));
+  sorted_.erase(std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const RingEntry& e, const NodeId& k) { return e.id < k; }));
   stale_possible_ = true;
+  ++topology_version_;
 }
 
 void Overlay::rejoin_node(const NodeId& id) {
@@ -288,10 +322,12 @@ void Overlay::repair_all() {
   // Every live node has now been purged of dead references, so routing can
   // drop back to the stale-free fast path.
   stale_possible_ = false;
+  ++topology_version_;
 }
 
 void Overlay::on_dead_reference(NodeState& holder, const NodeId& dead) {
   counters_.dead_hop_detections.inc();
+  ++topology_version_;
   const auto slot = holder.table.slot_of(dead);
   holder.table.erase(dead);
   const bool was_leaf = holder.leaves.erase(dead);
@@ -305,18 +341,33 @@ void Overlay::on_dead_reference(NodeState& holder, const NodeId& dead) {
 RouteResult Overlay::route(const NodeId& from, const Uint128& key) {
   const auto origin = index_.find(from);
   if (origin == index_.end()) throw std::invalid_argument("Overlay::route: dead origin");
+  return route_from(origin->second, key);
+}
 
-  NodeId current = from;
-  NodeState* node = origin->second;  // carried across hops; map nodes are stable
+RouteResult Overlay::route(std::uint32_t from_slot, const Uint128& key) {
+  NodeState* origin = from_slot < slots_.size() ? slots_[from_slot] : nullptr;
+  if (origin == nullptr) throw std::invalid_argument("Overlay::route: dead origin");
+  return route_from(origin, key);
+}
+
+RouteResult Overlay::route_from(NodeState* origin, const Uint128& key) {
+  // The ground-truth root is fixed for the whole route: forwarding never
+  // changes membership (dead-reference repairs only touch tables and leaf
+  // sets), so one lookup serves both the leaf-set fast path and the final
+  // success check.
+  const RingEntry root = root_entry(key);
+
+  NodeId current = origin->table.owner();
+  NodeState* node = origin;  // carried across hops; map nodes are stable
   unsigned hops = 0;
   double travelled = 0.0;
-  const auto forward = [&](const NodeId& next) {
-    NodeState& next_state = state_of(next);
+  const auto forward_to = [&](const NodeId& next_id, NodeState& next_state) {
     travelled += proximity(node->coords, next_state.coords);
-    current = next;
+    current = next_id;
     node = &next_state;
     ++hops;
   };
+  const auto forward = [&](const NodeId& next) { forward_to(next, state_of(next)); };
   constexpr unsigned kMaxHops = 256;  // loop guard; never hit in practice
 
   while (hops < kMaxHops) {
@@ -329,8 +380,7 @@ RouteResult Overlay::route(const NodeId& from, const Uint128& key) {
         // member, which makes the closest member *the global root* — found
         // by binary search instead of a member-by-member distance scan. The
         // root's own leaf set covers the key too, so routing ends there.
-        const NodeId root = root_of(key);
-        if (root != current) forward(root);
+        if (root.id != current) forward_to(root.id, *root.state);
         break;
       }
       // Scan for the closest live member; collect stale references.
@@ -367,9 +417,9 @@ RouteResult Overlay::route(const NodeId& from, const Uint128& key) {
     NodeId best = current;
     if (!stale_possible_) {
       best = node->leaves.closest_to(key);
-      for (const auto& entry : node->table.populated()) {
+      node->table.for_each_populated([&](const NodeId& entry) {
         if (closer_to(key, entry, best)) best = entry;
-      }
+      });
     } else {
       std::vector<NodeId> dead;
       node->leaves.visit_members([&](const NodeId& member) {
@@ -380,13 +430,13 @@ RouteResult Overlay::route(const NodeId& from, const Uint128& key) {
         }
         return false;
       });
-      for (const auto& entry : node->table.populated()) {
+      node->table.for_each_populated([&](const NodeId& entry) {
         if (!alive(entry)) {
           dead.push_back(entry);
-          continue;
+          return;
         }
         if (closer_to(key, entry, best)) best = entry;
-      }
+      });
       for (const auto& d : dead) on_dead_reference(*node, d);
     }
     if (best == current) break;  // best effort delivery at a local optimum
@@ -397,7 +447,7 @@ RouteResult Overlay::route(const NodeId& from, const Uint128& key) {
   counters_.messages_routed.inc();
   counters_.total_hops.inc(hops);
   counters_.hops.add(static_cast<double>(hops));
-  return RouteResult{current, hops, current == root_of(key), travelled};
+  return RouteResult{current, node->slot, hops, current == root.id, travelled};
 }
 
 const LeafSet& Overlay::leaf_set(const NodeId& id) const { return state_of(id).leaves; }

@@ -65,6 +65,7 @@ struct Coordinates {
 /// Outcome of routing one message.
 struct RouteResult {
   NodeId destination;      ///< node the message was delivered to
+  std::uint32_t destination_slot = 0;  ///< dense slot of the destination (see slot_of)
   unsigned hops = 0;       ///< overlay hops traversed (0 = delivered locally)
   bool success = false;    ///< destination is the true root of the key
   /// Sum of proximity distances along the route (the "network distance"
@@ -94,12 +95,13 @@ class Overlay {
   const OverlayConfig& config() const { return config_; }
 
   /// Joins a node. Builds the newcomer's state and updates existing nodes'
-  /// leaf sets / routing tables to the post-join steady state.
-  /// Throws std::invalid_argument on duplicate ids.
-  void add_node(const NodeId& id);
+  /// leaf sets / routing tables to the post-join steady state. Returns the
+  /// node's dense slot (see slot_of). Throws std::invalid_argument on
+  /// duplicate ids.
+  std::uint32_t add_node(const NodeId& id);
 
   /// Joins a node at an explicit position in the proximity space.
-  void add_node(const NodeId& id, const Coordinates& where);
+  std::uint32_t add_node(const NodeId& id, const Coordinates& where);
 
   /// The node's position in the proximity space.
   [[nodiscard]] const Coordinates& coordinates_of(const NodeId& id) const;
@@ -125,6 +127,22 @@ class Overlay {
   [[nodiscard]] bool contains(const NodeId& id) const;   ///< alive?
   [[nodiscard]] std::size_t size() const { return ring_.size(); }
 
+  /// Dense slot permanently assigned to `id` at its first join. Slots are
+  /// handed out sequentially (0, 1, 2, ...) and survive crash/rejoin, so
+  /// callers can replace NodeId-keyed hash maps with plain arrays. Throws
+  /// std::out_of_range for ids that never joined.
+  [[nodiscard]] std::uint32_t slot_of(const NodeId& id) const;
+
+  /// True iff the node occupying `slot` is currently alive.
+  [[nodiscard]] bool slot_alive(std::uint32_t slot) const {
+    return slot < slots_.size() && slots_[slot] != nullptr;
+  }
+
+  /// Monotone counter bumped on every membership or repair event that can
+  /// change any node's leaf set or routing table. Callers caching derived
+  /// views (e.g. a root's leaf members) revalidate against this.
+  [[nodiscard]] std::uint64_t topology_version() const { return topology_version_; }
+
   /// Ground-truth root: the live node numerically closest to `key`.
   /// Requires a non-empty overlay.
   [[nodiscard]] NodeId root_of(const Uint128& key) const;
@@ -132,6 +150,10 @@ class Overlay {
   /// Routes a message from `from` toward `key` using per-node state only.
   /// `from` must be alive.
   RouteResult route(const NodeId& from, const Uint128& key);
+
+  /// Same, addressing the origin by its dense slot (hot path: skips the
+  /// NodeId hash lookup). The slot must be alive.
+  RouteResult route(std::uint32_t from_slot, const Uint128& key);
 
   /// Per-node state access (tests, diversion logic).
   [[nodiscard]] const LeafSet& leaf_set(const NodeId& id) const;
@@ -184,10 +206,23 @@ class Overlay {
     RoutingTable table;
     LeafSet leaves;
     Coordinates coords;
+    std::uint32_t slot = 0;  ///< permanent dense slot (set at join)
+  };
+
+  /// One live node in ring order: the id plus its state pointer, so ring
+  /// walks and root lookups never go back through a hash index.
+  struct RingEntry {
+    NodeId id;
+    NodeState* state;
   };
 
   NodeState& state_of(const NodeId& id);
   [[nodiscard]] const NodeState& state_of(const NodeId& id) const;
+
+  /// Ground-truth root of `key` with its state (binary search over sorted_).
+  [[nodiscard]] const RingEntry& root_entry(const Uint128& key) const;
+
+  RouteResult route_from(NodeState* origin, const Uint128& key);
 
   /// True iff `id` is a live node. O(1) via the hash index; routing calls
   /// this once per leaf-set member per hop, which made the tree-based
@@ -219,10 +254,20 @@ class Overlay {
   /// live tables on fail_node (so joins never pick a dead neighbor) and
   /// restored on rejoin_node.
   std::unordered_map<NodeId, Coordinates, Uint128Hash> failed_coords_;
-  /// Live ids in ascending order, mirroring ring_'s keys: root_of runs once
-  /// per routed message, and binary search over contiguous ids beats walking
-  /// the red-black tree.
-  std::vector<NodeId> sorted_ids_;
+  /// Live nodes in ascending id order, mirroring ring_'s keys: root lookups
+  /// run once per routed message, and binary search over contiguous entries
+  /// beats walking the red-black tree; carrying the state pointer lets the
+  /// fast path forward to the root without a hash lookup.
+  std::vector<RingEntry> sorted_;
+  /// Dense slot -> live node state (nullptr while the occupant is dead).
+  /// Slots are assigned sequentially at first join and never reused for a
+  /// different id, so external structures can index by slot.
+  std::vector<NodeState*> slots_;
+  /// Permanent id -> slot assignment (survives crashes; grows only on the
+  /// first join of a brand-new id).
+  std::unordered_map<NodeId, std::uint32_t, Uint128Hash> slot_ids_;
+  /// Bumped whenever any node's leaf set or routing table may have changed.
+  std::uint64_t topology_version_ = 0;
   /// False while no crash has occurred since the last full repair pass. In
   /// that state no node can hold a stale reference (joins and graceful
   /// departures keep all state fresh), so route() skips every per-member

@@ -47,6 +47,15 @@ class RoutingTable {
   /// All populated entries (for repair protocols and tests).
   [[nodiscard]] std::vector<NodeId> populated() const;
 
+  /// Visits populated entries in slot order (same enumeration as populated())
+  /// without materializing a vector — the routing fallback path is hot.
+  template <typename Fn>
+  void for_each_populated(Fn&& fn) const {
+    for (const auto& s : slots_) {
+      if (s.has_value()) fn(*s);
+    }
+  }
+
   [[nodiscard]] std::size_t populated_count() const { return populated_count_; }
 
  private:

@@ -79,7 +79,17 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
   }
 
   if (config_.scheme == Scheme::kHierGD || config_.scheme == Scheme::kSquirrel) {
-    object_ids_ = directory::build_object_id_table(trace_.distinct_objects);
+    // Ring placement is a pure function of the object universe, so run_sweep
+    // shares one precomputed table across schemes and jobs (like trace_stats).
+    if (config_.object_ids) {
+      if (config_.object_ids->size() != trace_.distinct_objects) {
+        throw std::invalid_argument(
+            "Simulator: config.object_ids was built for a different object universe");
+      }
+      object_ids_ = config_.object_ids;
+    } else {
+      object_ids_ = directory::build_object_id_table(trace_.distinct_objects);
+    }
   }
 
   const bool addressable_clients =
@@ -125,11 +135,13 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
       case Scheme::kSC:
         proxy.cache =
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode);
+        proxy.cache->reserve_universe(trace_.distinct_objects);
         proxy.cache->bind_observability(*registry_, proxy_prefix + "cache.");
         break;
       case Scheme::kFC:
         proxy.cache =
             std::make_unique<cache::CostBenefitCache>(config_.proxy_capacity, *coordinator_);
+        proxy.cache->reserve_universe(trace_.distinct_objects);
         proxy.cache->bind_observability(*registry_, proxy_prefix + "cache.");
         break;
       case Scheme::kNC_EC:
@@ -137,6 +149,7 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
         proxy.tiered = std::make_unique<TieredCache>(
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode),
             std::make_unique<cache::LfuCache>(p2p_capacity, config_.lfu_mode));
+        proxy.tiered->reserve_universe(trace_.distinct_objects);
         proxy.tiered->bind_observability(*registry_, proxy_prefix + "tiered.");
         if (residency_enabled_) {
           proxy.tiered->set_transition_hook(
@@ -161,6 +174,7 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
       case Scheme::kFC_EC:
         proxy.unified = std::make_unique<cache::CostBenefitCache>(
             config_.proxy_capacity + p2p_capacity, *coordinator_);
+        proxy.unified->reserve_universe(trace_.distinct_objects);
         proxy.unified->bind_observability(*registry_, proxy_prefix + "cache.");
         proxy.tier_tracker = std::make_unique<cache::LruCache>(config_.proxy_capacity);
         break;
@@ -185,6 +199,8 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
         pc.enable_diversion = config_.enable_diversion;
         pc.name_prefix = "cluster" + std::to_string(p);
         proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, registry_.get());
+        proxy.fetch_cost.reserve(trace_.distinct_objects);
+        proxy.gd->reserve_universe(trace_.distinct_objects);
         proxy.gd->bind_observability(*registry_, proxy_prefix + "cache.");
         if (config_.directory == DirectoryKind::kExact) {
           proxy.dir = std::make_unique<directory::ExactDirectory>(registry_.get(),
@@ -258,8 +274,7 @@ const cache::LruCache* Simulator::browser_of(unsigned proxy, ClientNum client) c
   return client < p.browsers.size() ? p.browsers[client].get() : nullptr;
 }
 
-const std::unordered_map<ObjectNum, double>* Simulator::fetch_costs_of(
-    unsigned proxy) const {
+const DenseMap<double>* Simulator::fetch_costs_of(unsigned proxy) const {
   return proxy < proxies_.size() ? &proxies_[proxy].fetch_cost : nullptr;
 }
 
@@ -646,10 +661,9 @@ void Simulator::destage_hier_gd(Proxy& proxy, ObjectNum victim, ClientNum via_cl
   msg_.destage_piggybacked.inc();
   msg_.destage_bytes.inc();  // unit-size objects
 
-  const auto cost_it = proxy.fetch_cost.find(victim);
-  const double credit = cost_it != proxy.fetch_cost.end()
-                            ? cost_it->second
-                            : config_.latencies.fetch_cost(ServedFrom::kOriginServer);
+  const double* stored = proxy.fetch_cost.find(victim);
+  const double credit =
+      stored != nullptr ? *stored : config_.latencies.fetch_cost(ServedFrom::kOriginServer);
   maybe_lose_p2p_message();  // the destage transfer itself may time out
   const auto outcome = proxy.p2p->store(victim, credit, via_client);
   inst_.p2p_hops.add(static_cast<double>(outcome.hops));
@@ -686,9 +700,9 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
 
   // Local proxy cache.
   if (local.gd->contains(object)) {
-    const auto cost_it = local.fetch_cost.find(object);
-    local.gd->access(object, cost_it != local.fetch_cost.end()
-                                 ? cost_it->second
+    const double* stored = local.fetch_cost.find(object);
+    local.gd->access(object, stored != nullptr
+                                 ? *stored
                                  : config_.latencies.fetch_cost(ServedFrom::kOriginServer));
     account(ServedFrom::kLocalProxy, 0.0);
     return;
@@ -734,10 +748,10 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
                                            proxy_index);
     if (holder >= 0) {
       Proxy& remote = proxies_[static_cast<unsigned>(holder)];
-      const auto cost_it = remote.fetch_cost.find(object);
+      const double* stored = remote.fetch_cost.find(object);
       remote.gd->access(object,
-                        cost_it != remote.fetch_cost.end()
-                            ? cost_it->second
+                        stored != nullptr
+                            ? *stored
                             : config_.latencies.fetch_cost(ServedFrom::kOriginServer));
       served = ServedFrom::kRemoteProxy;
     } else {
@@ -758,10 +772,10 @@ void Simulator::step_hier_gd(const Request& request, unsigned proxy_index) {
          ++q) {
       Proxy& remote = proxies_[(proxy_index + q) % config_.num_proxies];
       if (remote.gd->contains(object)) {
-        const auto cost_it = remote.fetch_cost.find(object);
+        const double* stored = remote.fetch_cost.find(object);
         remote.gd->access(object,
-                          cost_it != remote.fetch_cost.end()
-                              ? cost_it->second
+                          stored != nullptr
+                              ? *stored
                               : config_.latencies.fetch_cost(ServedFrom::kOriginServer));
         served = ServedFrom::kRemoteProxy;
       } else if (push_holder == nullptr && remote.dir->may_contain(object)) {

@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cost_benefit.hpp"
 #include "cache/greedy_dual.hpp"
+#include "common/dense_map.hpp"
 #include "cache/lfu.hpp"
 #include "cache/lru.hpp"
 #include "directory/directory.hpp"
@@ -133,6 +133,13 @@ struct SimConfig {
   /// trace per simulator; when absent, the constructor analyzes the trace
   /// itself, so run_single and direct construction are unaffected.
   std::shared_ptr<const workload::TraceStats> trace_stats{};
+  /// Optional precomputed ring-placement table: `(*object_ids)[o]` must be
+  /// SHA-1(object_url(o)) for every object of the trace. Hier-GD/Squirrel
+  /// build it in the constructor when absent; run_sweep shares one table
+  /// across all its jobs (like trace_stats) so the per-object hashing runs
+  /// once per sweep instead of once per job. Must cover exactly the trace's
+  /// distinct_objects when supplied.
+  std::shared_ptr<const std::vector<Uint128>> object_ids{};
   /// Observability registry every component of this simulation binds its
   /// instruments into (schema "webcache-metrics/1"; see README). When null
   /// the simulator creates a private one — reachable via
@@ -183,8 +190,7 @@ class Simulator {
   [[nodiscard]] const cache::CostBenefitCache* unified_of(unsigned proxy) const;
   [[nodiscard]] const cache::LruCache* tier_tracker_of(unsigned proxy) const;
   [[nodiscard]] const cache::LruCache* browser_of(unsigned proxy, ClientNum client) const;
-  [[nodiscard]] const std::unordered_map<ObjectNum, double>* fetch_costs_of(
-      unsigned proxy) const;
+  [[nodiscard]] const DenseMap<double>* fetch_costs_of(unsigned proxy) const;
   [[nodiscard]] bool residency_index_enabled() const { return residency_enabled_; }
   [[nodiscard]] std::uint64_t residency_primary(ObjectNum object) const {
     return residency_mask(res_primary_, object);
@@ -211,8 +217,9 @@ class Simulator {
     std::unique_ptr<cache::Cache> gd;
     std::unique_ptr<p2p::P2PClientCache> p2p;
     std::unique_ptr<directory::LookupDirectory> dir;
-    /// Last-paid retrieval cost per object (greedy-dual credits).
-    std::unordered_map<ObjectNum, double> fetch_cost;
+    /// Last-paid retrieval cost per object (greedy-dual credits),
+    /// direct-indexed by the dense object id (sized to the trace universe).
+    DenseMap<double> fetch_cost;
     /// Private browser caches, one per client (empty unless enabled).
     std::vector<std::unique_ptr<cache::LruCache>> browsers;
   };

@@ -26,8 +26,8 @@ void TieredCache::bind_observability(obs::Registry& registry, const std::string&
 }
 
 void TieredCache::destage(ObjectNum object) {
-  const auto cost_it = cost_.find(object);
-  const double cost = cost_it == cost_.end() ? 0.0 : cost_it->second;
+  const double* stored = cost_.find(object);
+  const double cost = stored == nullptr ? 0.0 : *stored;
   const auto ins = tier2_->insert(object, cost);
   if (!ins.inserted) {
     cost_.erase(object);  // zero-capacity tier 2: the object leaves entirely

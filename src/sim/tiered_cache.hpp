@@ -14,9 +14,9 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "cache/cache.hpp"
+#include "common/dense_map.hpp"
 #include "obs/registry.hpp"
 
 namespace webcache::sim {
@@ -53,6 +53,13 @@ class TieredCache {
   [[nodiscard]] cache::Cache& tier2() { return *tier2_; }
   [[nodiscard]] const cache::Cache& tier1() const { return *tier1_; }
   [[nodiscard]] const cache::Cache& tier2() const { return *tier2_; }
+
+  /// Forwards the dense-universe hint to both tiers and the cost index.
+  void reserve_universe(std::size_t universe) {
+    tier1_->reserve_universe(universe);
+    tier2_->reserve_universe(universe);
+    cost_.reserve(universe);
+  }
 
   [[nodiscard]] std::size_t size() const { return tier1_->size() + tier2_->size(); }
   [[nodiscard]] std::size_t capacity() const {
@@ -104,8 +111,9 @@ class TieredCache {
   TransitionHook hook_;
   std::unique_ptr<Counters> counters_;  ///< null until bind_observability
   /// Refetch cost of every object currently cached — needed to credit
-  /// destaged objects correctly in value-based tiers.
-  std::unordered_map<ObjectNum, double> cost_;
+  /// destaged objects correctly in value-based tiers. Direct-indexed by the
+  /// dense object id (grows to the largest id seen).
+  DenseMap<double> cost_;
 };
 
 }  // namespace webcache::sim

@@ -1,0 +1,237 @@
+#include "common/dense_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "common/types.hpp"
+#include "common/uint128.hpp"
+#include "p2p/p2p_client_cache.hpp"
+
+namespace webcache {
+namespace {
+
+// --- DenseMap -----------------------------------------------------------------
+
+TEST(DenseMap, InsertFindErase) {
+  DenseMap<double> m(10);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(3), nullptr);
+
+  m[3] = 1.5;
+  m[7] = 2.5;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_DOUBLE_EQ(*m.find(3), 1.5);
+  EXPECT_TRUE(m.contains(7));
+  EXPECT_FALSE(m.contains(4));
+
+  EXPECT_TRUE(m.erase(3));
+  EXPECT_FALSE(m.erase(3));  // already gone
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(DenseMap, OperatorBracketDefaultConstructsOnce) {
+  DenseMap<int> m(4);
+  EXPECT_EQ(m[2], 0);  // inserted as default
+  m[2] = 42;
+  EXPECT_EQ(m[2], 42);  // second access does not reset
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(DenseMap, EpochClearIsLogicalAndReusable) {
+  DenseMap<int> m(8);
+  for (std::uint32_t k = 0; k < 8; ++k) m[k] = static_cast<int>(k);
+  EXPECT_EQ(m.size(), 8u);
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    EXPECT_FALSE(m.contains(k)) << k;
+    EXPECT_EQ(m.find(k), nullptr) << k;
+  }
+
+  // Slots are reusable after the epoch bump, and stale values never leak.
+  m[5] = 99;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[5], 99);
+  EXPECT_FALSE(m.contains(4));
+}
+
+TEST(DenseMap, IterationIsAscendingKeyOrder) {
+  DenseMap<int> m(100);
+  m[42] = 3;
+  m[7] = 1;
+  m[99] = 4;
+  m[13] = 2;  // insertion order differs from key order
+  std::vector<std::uint32_t> keys;
+  m.for_each([&](std::uint32_t k, int v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, static_cast<int>(keys.size()));
+  });
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{7, 13, 42, 99}));
+}
+
+TEST(DenseMap, GrowsOnDemandBeyondReservedUniverse) {
+  DenseMap<int> m(4);
+  EXPECT_EQ(m.universe(), 4u);
+  m[100] = 7;  // a key past the reservation grows the slot array
+  EXPECT_GE(m.universe(), 101u);
+  EXPECT_TRUE(m.contains(100));
+  EXPECT_EQ(m[100], 7);
+  EXPECT_FALSE(m.contains(50));  // the grown range is not spuriously live
+}
+
+// --- DenseSet -----------------------------------------------------------------
+
+TEST(DenseSet, InsertEraseContains) {
+  DenseSet s(16);
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));  // duplicate
+  EXPECT_TRUE(s.insert(9));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(DenseSet, EpochClearAndAscendingIteration) {
+  DenseSet s(32);
+  for (std::uint32_t k : {20u, 5u, 11u}) s.insert(k);
+  std::vector<std::uint32_t> members;
+  s.for_each([&](std::uint32_t k) { members.push_back(k); });
+  EXPECT_EQ(members, (std::vector<std::uint32_t>{5, 11, 20}));
+
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.insert(5));  // reusable after clear
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(DenseSet, MemoryBytesTracksFlatUniverse) {
+  DenseSet s;
+  EXPECT_EQ(s.memory_bytes(), 0u);
+  s.insert(999);
+  EXPECT_GE(s.memory_bytes(), 1000 * sizeof(std::uint32_t));
+  const auto grown = s.memory_bytes();
+  s.erase(999);
+  EXPECT_EQ(s.memory_bytes(), grown);  // flat arrays never shrink
+}
+
+// --- FlatMap ------------------------------------------------------------------
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+
+  m[1] = "one";
+  m[2] = "two";
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), "one");
+  EXPECT_FALSE(m.contains(3));
+
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, SurvivesGrowthAndChurn) {
+  FlatMap<std::uint32_t> m;
+  // Force several growth doublings, then a deletion-heavy phase: backward
+  // shifting must keep every surviving key reachable with no tombstones.
+  for (std::uint32_t k = 0; k < 500; ++k) m[k] = k * 2;
+  for (std::uint32_t k = 0; k < 500; k += 2) EXPECT_TRUE(m.erase(k));
+  EXPECT_EQ(m.size(), 250u);
+  for (std::uint32_t k = 0; k < 500; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_FALSE(m.contains(k)) << k;
+    } else {
+      ASSERT_NE(m.find(k), nullptr) << k;
+      EXPECT_EQ(*m.find(k), k * 2) << k;
+    }
+  }
+  // Re-insert into the holes.
+  for (std::uint32_t k = 0; k < 500; k += 2) m[k] = k + 1;
+  EXPECT_EQ(m.size(), 500u);
+  for (std::uint32_t k = 0; k < 500; k += 2) EXPECT_EQ(*m.find(k), k + 1);
+}
+
+TEST(FlatMap, IterationIsDeterministicForAGivenHistory) {
+  const auto build = [] {
+    FlatMap<int> m;
+    for (std::uint32_t k = 0; k < 64; ++k) m[k] = static_cast<int>(k);
+    for (std::uint32_t k = 0; k < 64; k += 3) m.erase(k);
+    return m;
+  };
+  const auto a = build();
+  const auto b = build();
+  std::vector<std::pair<std::uint32_t, int>> va, vb;
+  a.for_each([&](std::uint32_t k, int v) { va.emplace_back(k, v); });
+  b.for_each([&](std::uint32_t k, int v) { vb.emplace_back(k, v); });
+  EXPECT_EQ(va, vb);
+  EXPECT_EQ(va.size(), a.size());
+}
+
+TEST(FlatMap, ClearReleasesEverything) {
+  FlatMap<int> m;
+  for (std::uint32_t k = 0; k < 40; ++k) m[k] = 1;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 9;  // usable again from scratch
+  EXPECT_EQ(m.size(), 1u);
+}
+
+// --- growth under cluster churn -------------------------------------------------
+//
+// The P2P location index is reserved for the trace's object universe, and the
+// per-client diversion maps start empty; fresh clients joining mid-run (churn)
+// must grow these structures on demand without disturbing resident state.
+
+TEST(DenseContainersUnderChurn, FreshJoinsGrowTheClusterState) {
+  p2p::P2PConfig pc;
+  pc.clients = 8;
+  pc.per_client_capacity = 2;
+  auto ids = std::make_shared<std::vector<Uint128>>();
+  for (std::uint32_t o = 0; o < 64; ++o) {
+    ids->push_back(Sha1::hash128(object_url(o)));
+  }
+  p2p::P2PClientCache cluster(pc, std::move(ids));
+
+  for (ObjectNum o = 0; o < 16; ++o) {
+    (void)cluster.store(o, 1.0, o % 8);
+  }
+  const auto before = cluster.resident_objects();
+  EXPECT_FALSE(before.empty());
+
+  // Fresh joins extend the dense client-index space past the initial size.
+  const ClientNum j1 = cluster.add_client();
+  const ClientNum j2 = cluster.add_client();
+  EXPECT_EQ(j1, 8u);
+  EXPECT_EQ(j2, 9u);
+  EXPECT_EQ(cluster.cluster_size(), 10u);
+
+  // Resident objects survived the joins, and the cluster stays consistent.
+  EXPECT_EQ(cluster.resident_objects(), before);
+  EXPECT_TRUE(cluster.audit_violations().empty());
+
+  // New clients participate fully: keep storing across the grown cluster.
+  for (ObjectNum o = 16; o < 40; ++o) {
+    (void)cluster.store(o, 1.0, o % 10);
+  }
+  EXPECT_TRUE(cluster.audit_violations().empty());
+}
+
+}  // namespace
+}  // namespace webcache

@@ -39,6 +39,19 @@ TEST(ExactDirectory, MemoryGrowsWithEntries) {
   EXPECT_GT(d.memory_bytes(), empty);
 }
 
+TEST(ExactDirectory, MemoryBytesReportsFlatStampArray) {
+  ExactDirectory d;
+  EXPECT_EQ(d.memory_bytes(), 0u);
+  // The flat representation is sized by the largest id touched, not by the
+  // number of live entries — one 32-bit stamp per universe slot.
+  d.add(999);
+  EXPECT_GE(d.memory_bytes(), 1000 * sizeof(std::uint32_t));
+  const auto grown = d.memory_bytes();
+  d.remove(999);
+  EXPECT_EQ(d.entry_count(), 0u);
+  EXPECT_EQ(d.memory_bytes(), grown);  // flat arrays never shrink
+}
+
 TEST(ObjectIdTable, StableAndDistinct) {
   const auto table = build_object_id_table(100);
   ASSERT_EQ(table->size(), 100u);
@@ -88,12 +101,21 @@ TEST(BloomDirectory, FalsePositiveRateIsBounded) {
 }
 
 TEST(BloomDirectory, UsesLessMemoryThanExactAtScale) {
-  const auto table = build_object_id_table(10'000);
+  // The Bloom filter is sized by the cache capacity and stays constant, while
+  // the exact directory's flat stamp array scales with the object universe
+  // the cluster touches over time. With a universe much larger than the
+  // cache — the paper's operating regime — the filter wins even against
+  // 4-byte flat slots.
+  const auto table = build_object_id_table(200'000);
   BloomDirectory bloom(table, 10'000, 0.01);
   ExactDirectory exact;
-  for (ObjectNum o = 0; o < 10'000; ++o) {
+  for (ObjectNum o = 0; o < 200'000; ++o) {
     bloom.add(o);
     exact.add(o);
+    if (o >= 10'000) {  // rolling membership: only 10k objects live at once
+      bloom.remove(o - 10'000);
+      exact.remove(o - 10'000);
+    }
   }
   EXPECT_LT(bloom.memory_bytes(), exact.memory_bytes());
 }
