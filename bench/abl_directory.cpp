@@ -13,7 +13,8 @@ int main() {
 
   auto wl = bench::paper_workload();
   wl.total_requests = std::max<std::uint64_t>(wl.total_requests / 2, 50'000);
-  const auto trace = workload::ProWGen(wl).generate();
+  const auto source = bench::bench_source(wl);
+  const auto& trace = *source;
   const auto infinite = core::cluster_infinite_cache_size(trace, 2);
 
   struct Variant {

@@ -18,9 +18,16 @@
 //                         bench's sweeps (same as passing --metrics-out).
 //   WEBCACHE_SNAPSHOT_INTERVAL  interval-snapshot period in requests for the
 //                         export (same as --snapshot-interval; 0 = off).
+//   WEBCACHE_TRACE_BIN    replay a compiled wctrace/1 file through the mmap
+//                         reader instead of generating the ProWGen workload.
+//                         Every sweep in the bench then replays that one
+//                         trace, so it is meant for single-workload benches
+//                         (fig2a, fig5*, abl_*) and the CI golden-diff gate
+//                         that proves streamed == in-memory exports.
 #pragma once
 
 #include <chrono>
+#include <concepts>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +38,8 @@
 
 #include "core/experiment.hpp"
 #include "workload/prowgen.hpp"
+#include "workload/trace_source.hpp"
+#include "workload/wctrace.hpp"
 
 namespace webcache::bench {
 
@@ -68,6 +77,26 @@ inline workload::ProWGenConfig paper_workload() {
   cfg.clients = 100;
   cfg.seed = 2003;  // publication year, for flavour
   return cfg;
+}
+
+/// The request stream a bench sweeps over. Generates `cfg` in memory unless
+/// WEBCACHE_TRACE_BIN names a compiled wctrace/1 file, in which case that
+/// file replays through the mmap reader in bounded memory (see the env-knob
+/// comment at the top of this header for the sharp edge on multi-workload
+/// benches).
+template <typename MakeTrace>
+  requires std::invocable<MakeTrace&>
+std::shared_ptr<const workload::TraceSource> bench_source(MakeTrace&& make_trace) {
+  if (const char* env = std::getenv("WEBCACHE_TRACE_BIN")) {
+    std::cerr << "# replaying compiled trace " << env << "\n";
+    return workload::open_trace_source(env);
+  }
+  return workload::make_source(make_trace());
+}
+
+inline std::shared_ptr<const workload::TraceSource> bench_source(
+    const workload::ProWGenConfig& cfg) {
+  return bench_source([&cfg] { return workload::ProWGen(cfg).generate(); });
 }
 
 /// Collects per-section wall clock and per-scheme throughput for one bench

@@ -23,7 +23,8 @@ int main() {
     auto wl = bench::paper_workload();
     wl.total_requests = std::max<std::uint64_t>(wl.total_requests / 2, 60'000);
     wl.one_timer_fraction = fraction;
-    const auto trace = workload::ProWGen(wl).generate();
+    const auto source = bench::bench_source(wl);
+    const auto& trace = *source;
     const auto infinite = core::cluster_infinite_cache_size(trace, 2);
 
     std::cout << std::setw(14) << fraction * 100.0;
@@ -49,7 +50,8 @@ int main() {
     auto wl = bench::paper_workload();
     wl.total_requests = std::max<std::uint64_t>(wl.total_requests / 2, 120'000);
     wl.distinct_objects = objects;
-    const auto trace = workload::ProWGen(wl).generate();
+    const auto source = bench::bench_source(wl);
+    const auto& trace = *source;
     const auto infinite = core::cluster_infinite_cache_size(trace, 2);
 
     std::cout << std::setw(14) << objects;

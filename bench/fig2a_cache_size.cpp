@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   bench::SectionTimer timer("fig2a");
   const bench::ObsOptions obs(argc, argv);
 
-  const auto trace = workload::ProWGen(bench::paper_workload()).generate();
+  const auto source = bench::bench_source(bench::paper_workload());
+  const auto& trace = *source;
 
   core::SweepConfig cfg;  // defaults are exactly the paper's setup
   cfg.threads = bench::bench_threads();

@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   // stable at this volume and the bench stays interactive.
   ucb.scale = 0.1 * bench::bench_scale();
   ucb.scale = std::max(ucb.scale, 0.002);
-  const auto trace = workload::generate_ucb_like(ucb);
+  const auto source = bench::bench_source([&] { return workload::generate_ucb_like(ucb); });
+  const auto& trace = *source;
 
   core::SweepConfig cfg;
   cfg.threads = bench::bench_threads();

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   for (const double alpha : alphas) {
     auto wl = bench::paper_workload();
     wl.zipf_alpha = alpha;
-    const auto trace = workload::ProWGen(wl).generate();
+    const auto source = bench::bench_source(wl);
+    const auto& trace = *source;
     core::SweepConfig cfg;
     cfg.threads = bench::bench_threads();
     cfg.schemes = {panels[0], panels[1], panels[2], panels[3]};

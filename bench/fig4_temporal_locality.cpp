@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
     // Run the locality sensitivity at full recency bias so the stack knob
     // spans its whole dynamic range (see prowgen.hpp).
     wl.recency_bias = 0.5;
-    const auto trace = workload::ProWGen(wl).generate();
+    const auto source = bench::bench_source(wl);
+    const auto& trace = *source;
     core::SweepConfig cfg;
     cfg.threads = bench::bench_threads();
     cfg.schemes = {panels[0], panels[1], panels[2], panels[3]};

@@ -11,7 +11,8 @@ int main(int argc, char** argv) {
   bench::SectionTimer timer("fig5a");
   const bench::ObsOptions obs(argc, argv);
 
-  const auto trace = workload::ProWGen(bench::paper_workload()).generate();
+  const auto source = bench::bench_source(bench::paper_workload());
+  const auto& trace = *source;
   const double ratios[] = {2.0, 5.0, 10.0};
 
   std::vector<core::SweepResult> results;

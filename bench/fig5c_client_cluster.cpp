@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   bench::SectionTimer timer("fig5c");
   const bench::ObsOptions obs(argc, argv);
 
-  const auto trace = workload::ProWGen(bench::paper_workload()).generate();
+  const auto source = bench::bench_source(bench::paper_workload());
+  const auto& trace = *source;
   const ClientNum cluster_sizes[] = {100, 400, 800, 1000};
 
   // Reference curves: SC and FC do not use client caches.

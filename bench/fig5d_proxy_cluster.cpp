@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   bench::SectionTimer timer("fig5d");
   const bench::ObsOptions obs(argc, argv);
 
-  const auto trace = workload::ProWGen(bench::paper_workload()).generate();
+  const auto source = bench::bench_source(bench::paper_workload());
+  const auto& trace = *source;
   const unsigned cluster_sizes[] = {2, 5, 10};
 
   std::vector<core::SweepResult> results;

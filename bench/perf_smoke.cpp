@@ -7,14 +7,27 @@
 //
 // The workload is intentionally FIXED (50k requests; WEBCACHE_BENCH_SCALE is
 // ignored) so reports stay comparable across runs and machines.
+//
+// Besides the per-scheme simulation throughput, the report covers the
+// streaming trace pipeline: ProWGen -> wctrace compile throughput
+// ("trace_compile"), mmap-streamed replay throughput with a replay chunk
+// >= 10x smaller than the trace ("trace_replay_stream"), a byte-equality
+// tripwire against the materialized replay, and the process peak RSS as a
+// bounded-memory proxy (section "peak_rss_mb"; informational, not gated).
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <iomanip>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "directory/directory.hpp"
 #include "sim/simulator.hpp"
+#include "workload/wctrace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 int main() {
   using namespace webcache;
@@ -69,6 +82,68 @@ int main() {
               << std::setprecision(0) << rps << "\n";
   }
   report.add_section("simulate_all_schemes", seconds_since(t_all));
+
+  // --- streaming trace pipeline -------------------------------------------
+  {
+    std::string dir = ".";
+    if (const char* env = std::getenv("WEBCACHE_BENCH_JSON_DIR")) dir = env;
+    const std::string wct_path = dir + "/perf_smoke_trace.wct";
+
+    // Compile: generator streamed straight into the writer, no vector.
+    const auto t_compile = Clock::now();
+    {
+      workload::WctraceWriter writer(wct_path);
+      writer.set_distinct_objects(wl.distinct_objects);
+      workload::ProWGen(wl).generate(
+          [&writer](const Request& r) { writer.append(r); });
+      writer.finalize();
+    }
+    const double dt_compile = seconds_since(t_compile);
+    report.add_section("trace_pipeline_compile", dt_compile);
+    report.add_throughput("trace_compile",
+                          static_cast<double>(wl.total_requests) / dt_compile);
+
+    // Streamed replay through the mmap reader with an out-of-core shape:
+    // the chunk budget is >= 10x smaller than the trace.
+    const workload::MmapTraceSource streamed(wct_path);
+    sim::SimConfig cfg;
+    cfg.scheme = sim::Scheme::kSC;
+    cfg.proxy_capacity = std::max<std::size_t>(1, infinite / 4);
+    cfg.client_cache_capacity = std::max<std::size_t>(1, infinite / 1000);
+    cfg.replay_chunk = 4096;
+    const auto t_replay = Clock::now();
+    const auto streamed_metrics = sim::run_simulation(cfg, streamed);
+    const double dt_replay = seconds_since(t_replay);
+    report.add_section("trace_pipeline_replay", dt_replay);
+    report.add_throughput("trace_replay_stream",
+                          static_cast<double>(streamed.size()) / dt_replay);
+    std::cout << std::setw(10) << "# compile" << std::fixed << std::setprecision(0)
+              << static_cast<double>(wl.total_requests) / dt_compile << "\n"
+              << std::setw(10) << "# stream"
+              << static_cast<double>(streamed.size()) / dt_replay << "\n";
+
+    // Equality tripwire: the streamed replay must be indistinguishable from
+    // the materialized one.
+    const auto reference = sim::run_simulation(cfg, trace);
+    if (streamed_metrics.requests != reference.requests ||
+        streamed_metrics.hits_local_proxy != reference.hits_local_proxy ||
+        streamed_metrics.hits_remote_proxy != reference.hits_remote_proxy ||
+        streamed_metrics.server_fetches != reference.server_fetches ||
+        streamed_metrics.total_latency != reference.total_latency) {
+      std::cerr << "perf_smoke: streamed replay diverged from materialized replay\n";
+      return 1;
+    }
+
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      // Linux reports ru_maxrss in KiB. Informational (not gated): the
+      // interesting signal is that it stays flat as traces grow.
+      report.add_section("peak_rss_mb", static_cast<double>(usage.ru_maxrss) / 1024.0);
+    }
+#endif
+    std::remove(wct_path.c_str());
+  }
 
   const auto path = report.write_json();
   if (path.empty()) return 1;

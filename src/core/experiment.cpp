@@ -8,7 +8,6 @@
 #include <ostream>
 #include <stdexcept>
 #include <thread>
-#include <unordered_map>
 
 #include "directory/directory.hpp"
 #include "workload/trace_stats.hpp"
@@ -19,21 +18,41 @@ std::vector<double> default_cache_percents() {
   return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
 }
 
-ObjectNum cluster_infinite_cache_size(const workload::Trace& trace, unsigned num_proxies) {
+ObjectNum cluster_infinite_cache_size(const workload::TraceSource& source,
+                                      unsigned num_proxies) {
   if (num_proxies == 0) {
     throw std::invalid_argument("cluster_infinite_cache_size: num_proxies must be >= 1");
   }
   // Frequency of each object within proxy 0's round-robin substream; the
-  // streams are statistically identical, so one cluster stands for all.
-  std::unordered_map<ObjectNum, std::uint64_t> freq;
-  for (std::size_t t = 0; t < trace.requests.size(); t += num_proxies) {
-    ++freq[trace.requests[t].object];
+  // streams are statistically identical, so one cluster stands for all. One
+  // chunked pass, O(distinct objects) working memory.
+  std::vector<std::uint64_t> freq(source.distinct_objects(), 0);
+  const std::uint64_t total = source.size();
+  const std::size_t chunk = workload::default_replay_chunk();
+  for (std::uint64_t base = 0; base < total;) {
+    const auto win = source.window(base, chunk);
+    if (win.empty()) break;
+    // First position in this window landing on proxy 0's substream.
+    std::uint64_t i = (num_proxies - base % num_proxies) % num_proxies;
+    for (; i < win.size(); i += num_proxies) {
+      const ObjectNum object = win[i].object;
+      if (object >= freq.size()) {
+        throw std::invalid_argument(
+            "cluster_infinite_cache_size: request references object outside the universe");
+      }
+      ++freq[object];
+    }
+    base += win.size();
   }
   ObjectNum multi = 0;
-  for (const auto& [_, f] : freq) {
+  for (const auto f : freq) {
     if (f > 1) ++multi;
   }
   return multi;
+}
+
+ObjectNum cluster_infinite_cache_size(const workload::Trace& trace, unsigned num_proxies) {
+  return cluster_infinite_cache_size(workload::MaterializedTraceSource(trace), num_proxies);
 }
 
 namespace {
@@ -46,18 +65,18 @@ std::size_t capacity_from_percent(double percent, ObjectNum infinite_size) {
 
 }  // namespace
 
-SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
+SweepResult run_sweep(const workload::TraceSource& source, const SweepConfig& config) {
   if (config.cache_percents.empty()) {
     throw std::invalid_argument("run_sweep: no cache sizes given");
   }
-  if (trace.empty()) {
+  if (source.empty()) {
     throw std::invalid_argument("run_sweep: empty trace");
   }
 
   SweepResult result;
   result.cache_percents = config.cache_percents;
   result.schemes = config.schemes;
-  result.infinite_cache_size = cluster_infinite_cache_size(trace, config.base.num_proxies);
+  result.infinite_cache_size = cluster_infinite_cache_size(source, config.base.num_proxies);
   result.client_cache_capacity = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::llround(config.client_cache_percent / 100.0 *
@@ -92,7 +111,7 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
   if (std::any_of(config.schemes.begin(), config.schemes.end(), [](sim::Scheme s) {
         return s == sim::Scheme::kFC || s == sim::Scheme::kFC_EC;
       })) {
-    shared_stats = std::make_shared<const workload::TraceStats>(workload::analyze(trace));
+    shared_stats = std::make_shared<const workload::TraceStats>(workload::analyze(source));
   }
 
   // Likewise, one ring-placement table (objectId = SHA-1 of the object URL)
@@ -102,7 +121,7 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
   if (std::any_of(config.schemes.begin(), config.schemes.end(), [](sim::Scheme s) {
         return s == sim::Scheme::kHierGD || s == sim::Scheme::kSquirrel;
       })) {
-    shared_object_ids = directory::build_object_id_table(trace.distinct_objects);
+    shared_object_ids = directory::build_object_id_table(source.distinct_objects());
   }
 
   // Flatten all independent runs into one job list. Job index j encodes
@@ -157,7 +176,7 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
                                   ? result.baseline_registries[job.size_index]
                                   : result.registries[job.size_index][job.scheme_index];
       }
-      const auto metrics = sim::run_simulation(job_config, trace);
+      const auto metrics = sim::run_simulation(job_config, source);
       if (job.scheme_index == num_schemes) {
         result.baseline[job.size_index] = metrics;
       } else {
@@ -189,6 +208,10 @@ SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
     }
   }
   return result;
+}
+
+SweepResult run_sweep(const workload::Trace& trace, const SweepConfig& config) {
+  return run_sweep(workload::MaterializedTraceSource(trace), config);
 }
 
 void print_gain_table(std::ostream& out, const SweepResult& result, const std::string& title) {
@@ -252,11 +275,11 @@ void write_metrics_json(std::ostream& out, const SweepResult& result,
   out << "\n  ]\n}\n";
 }
 
-SingleRun run_single(const workload::Trace& trace, sim::SimConfig config) {
+SingleRun run_single(const workload::TraceSource& source, sim::SimConfig config) {
   SingleRun r;
   if (!config.registry) config.registry = std::make_shared<obs::Registry>();
   r.registry = config.registry;
-  r.metrics = sim::run_simulation(config, trace);
+  r.metrics = sim::run_simulation(config, source);
   sim::SimConfig nc = config;
   nc.scheme = sim::Scheme::kNC;
   // NC has no addressable client caches: no failures, churn, or P2P loss.
@@ -269,9 +292,13 @@ SingleRun run_single(const workload::Trace& trace, sim::SimConfig config) {
   nc.registry = std::make_shared<obs::Registry>();
   nc.trace_capacity = 0;
   r.baseline_registry = nc.registry;
-  r.baseline = config.scheme == sim::Scheme::kNC ? r.metrics : sim::run_simulation(nc, trace);
+  r.baseline = config.scheme == sim::Scheme::kNC ? r.metrics : sim::run_simulation(nc, source);
   r.gain_percent = 100.0 * sim::latency_gain(r.baseline, r.metrics);
   return r;
+}
+
+SingleRun run_single(const workload::Trace& trace, sim::SimConfig config) {
+  return run_single(workload::MaterializedTraceSource(trace), std::move(config));
 }
 
 }  // namespace webcache::core

@@ -32,12 +32,22 @@ Simulator::Instruments::Instruments(obs::Registry& registry,
                                       4.0 * latencies.server(), 40)),
       hops_hist(registry.histogram("sim.p2p_hops", 0.0, 16.0, 16)) {}
 
+Simulator::Simulator(SimConfig config, const workload::TraceSource& source)
+    : Simulator(std::move(config), nullptr, &source) {}
+
 Simulator::Simulator(SimConfig config, const workload::Trace& trace)
+    : Simulator(std::move(config),
+                std::make_unique<workload::MaterializedTraceSource>(trace), nullptr) {}
+
+Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSource> owned,
+                     const workload::TraceSource* external)
     : config_(std::move(config)),
-      trace_(trace),
+      owned_source_(std::move(owned)),
+      source_(external != nullptr ? external : owned_source_.get()),
       registry_(config_.registry ? config_.registry : std::make_shared<obs::Registry>()),
       inst_(*registry_, config_.latencies),
       msg_(*registry_, "net.") {
+  const ObjectNum universe = source_->distinct_objects();
   registry_->set_snapshot_interval(config_.snapshot_interval);
   if (config_.trace_capacity > 0) registry_->enable_tracing(config_.trace_capacity);
   if (config_.num_proxies == 0) {
@@ -55,12 +65,12 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
   // trace itself.
   if (config_.scheme == Scheme::kFC || config_.scheme == Scheme::kFC_EC) {
     std::shared_ptr<const workload::TraceStats> stats = config_.trace_stats;
-    if (stats && stats->total_requests != trace_.size()) {
+    if (stats && stats->total_requests != source_->size()) {
       throw std::invalid_argument(
           "Simulator: config.trace_stats was computed from a different trace");
     }
     if (!stats) {
-      stats = std::make_shared<const workload::TraceStats>(workload::analyze(trace_));
+      stats = std::make_shared<const workload::TraceStats>(workload::analyze(*source_));
     }
     coordinator_ = std::make_unique<cache::CostBenefitCoordinator>(
         workload::per_proxy_frequency(*stats, config_.num_proxies), config_.num_proxies,
@@ -72,9 +82,9 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
   // historical per-proxy probe loops take over).
   residency_enabled_ = proxies_cooperate(config_.scheme) && config_.num_proxies <= 64;
   if (residency_enabled_) {
-    res_primary_.assign(trace_.distinct_objects, 0);
+    res_primary_.assign(universe, 0);
     if (config_.scheme == Scheme::kSC_EC || config_.scheme == Scheme::kFC_EC) {
-      res_secondary_.assign(trace_.distinct_objects, 0);
+      res_secondary_.assign(universe, 0);
     }
   }
 
@@ -82,13 +92,13 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
     // Ring placement is a pure function of the object universe, so run_sweep
     // shares one precomputed table across schemes and jobs (like trace_stats).
     if (config_.object_ids) {
-      if (config_.object_ids->size() != trace_.distinct_objects) {
+      if (config_.object_ids->size() != universe) {
         throw std::invalid_argument(
             "Simulator: config.object_ids was built for a different object universe");
       }
       object_ids_ = config_.object_ids;
     } else {
-      object_ids_ = directory::build_object_id_table(trace_.distinct_objects);
+      object_ids_ = directory::build_object_id_table(universe);
     }
   }
 
@@ -135,13 +145,13 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
       case Scheme::kSC:
         proxy.cache =
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode);
-        proxy.cache->reserve_universe(trace_.distinct_objects);
+        proxy.cache->reserve_universe(universe);
         proxy.cache->bind_observability(*registry_, proxy_prefix + "cache.");
         break;
       case Scheme::kFC:
         proxy.cache =
             std::make_unique<cache::CostBenefitCache>(config_.proxy_capacity, *coordinator_);
-        proxy.cache->reserve_universe(trace_.distinct_objects);
+        proxy.cache->reserve_universe(universe);
         proxy.cache->bind_observability(*registry_, proxy_prefix + "cache.");
         break;
       case Scheme::kNC_EC:
@@ -149,7 +159,7 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
         proxy.tiered = std::make_unique<TieredCache>(
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode),
             std::make_unique<cache::LfuCache>(p2p_capacity, config_.lfu_mode));
-        proxy.tiered->reserve_universe(trace_.distinct_objects);
+        proxy.tiered->reserve_universe(universe);
         proxy.tiered->bind_observability(*registry_, proxy_prefix + "tiered.");
         if (residency_enabled_) {
           proxy.tiered->set_transition_hook(
@@ -174,7 +184,7 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
       case Scheme::kFC_EC:
         proxy.unified = std::make_unique<cache::CostBenefitCache>(
             config_.proxy_capacity + p2p_capacity, *coordinator_);
-        proxy.unified->reserve_universe(trace_.distinct_objects);
+        proxy.unified->reserve_universe(universe);
         proxy.unified->bind_observability(*registry_, proxy_prefix + "cache.");
         proxy.tier_tracker = std::make_unique<cache::LruCache>(config_.proxy_capacity);
         break;
@@ -199,8 +209,8 @@ Simulator::Simulator(SimConfig config, const workload::Trace& trace)
         pc.enable_diversion = config_.enable_diversion;
         pc.name_prefix = "cluster" + std::to_string(p);
         proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, registry_.get());
-        proxy.fetch_cost.reserve(trace_.distinct_objects);
-        proxy.gd->reserve_universe(trace_.distinct_objects);
+        proxy.fetch_cost.reserve(universe);
+        proxy.gd->reserve_universe(universe);
         proxy.gd->bind_observability(*registry_, proxy_prefix + "cache.");
         if (config_.directory == DirectoryKind::kExact) {
           proxy.dir = std::make_unique<directory::ExactDirectory>(registry_.get(),
@@ -398,23 +408,35 @@ Metrics Simulator::run() {
 
   const std::uint64_t checkpoint = config_.checkpoint_interval;
   bool checked_at_end = false;
-  for (std::size_t t = 0; t < trace_.requests.size(); ++t) {
-    churn_.advance(t, [this](const fault::ChurnEvent& e) { apply_churn(e); });
-    now_ = t;
-    const auto& request = trace_.requests[t];
-    const auto proxy_index = static_cast<unsigned>(t % config_.num_proxies);
-    if (!browser_lookup(request, proxy_index)) {
-      step(request, proxy_index);
-      browser_fill(request, proxy_index);
+  const std::uint64_t total = source_->size();
+  // Replay in bounded windows: a materialized source hands back one spanning
+  // window, an mmap source pages sequentially and releases consumed chunks.
+  const std::size_t chunk =
+      config_.replay_chunk > 0 ? config_.replay_chunk : workload::default_replay_chunk();
+  for (std::uint64_t base = 0; base < total;) {
+    const auto win = source_->window(base, chunk);
+    if (win.empty()) break;  // defensive: a well-formed source never starves
+    for (std::size_t i = 0; i < win.size(); ++i) {
+      const std::uint64_t t = base + i;
+      churn_.advance(t, [this](const fault::ChurnEvent& e) { apply_churn(e); });
+      now_ = t;
+      const auto& request = win[i];
+      const auto proxy_index = static_cast<unsigned>(t % config_.num_proxies);
+      if (!browser_lookup(request, proxy_index)) {
+        step(request, proxy_index);
+        browser_fill(request, proxy_index);
+      }
+      if (checkpoint > 0 && config_.checkpoint_hook && (t + 1) % checkpoint == 0) {
+        config_.checkpoint_hook(*this, t + 1);
+        checked_at_end = t + 1 == total;
+      }
     }
-    if (checkpoint > 0 && config_.checkpoint_hook && (t + 1) % checkpoint == 0) {
-      config_.checkpoint_hook(*this, t + 1);
-      checked_at_end = t + 1 == trace_.requests.size();
-    }
+    base += win.size();
+    source_->discard_consumed(base);
   }
   // Always audit the final state, but not twice.
   if (config_.checkpoint_hook && !checked_at_end) {
-    config_.checkpoint_hook(*this, trace_.requests.size());
+    config_.checkpoint_hook(*this, total);
   }
   return metrics_view();
 }
@@ -843,6 +865,11 @@ void Simulator::step_squirrel(const Request& request, unsigned proxy_index) {
 
 Metrics run_simulation(const SimConfig& config, const workload::Trace& trace) {
   Simulator sim(config, trace);
+  return sim.run();
+}
+
+Metrics run_simulation(const SimConfig& config, const workload::TraceSource& source) {
+  Simulator sim(config, source);
   return sim.run();
 }
 

@@ -44,6 +44,7 @@
 #include "sim/scheme.hpp"
 #include "sim/tiered_cache.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_source.hpp"
 #include "workload/trace_stats.hpp"
 
 namespace webcache::sim {
@@ -153,12 +154,24 @@ struct SimConfig {
   /// WEBCACHE_OBS_TRACE=OFF). Each served request records a TraceEvent
   /// {request index, ServedFrom code, latency, wasted latency}.
   std::size_t trace_capacity = 0;
+  /// Replay chunk budget: how many requests run() pulls per TraceSource
+  /// window before hinting the consumed prefix away. Bounds the resident
+  /// set of an out-of-core replay; irrelevant to results (the request
+  /// sequence is identical for any chunking). 0 = the process default
+  /// (workload::default_replay_chunk, WEBCACHE_REPLAY_CHUNK overridable).
+  std::size_t replay_chunk = 0;
 };
 
 class Simulator {
  public:
-  /// The trace must outlive the simulator. FC/FC-EC precompute the perfect
-  /// frequency table from the trace here.
+  /// The source must outlive the simulator; it is replayed in sequential
+  /// chunks (SimConfig::replay_chunk), so out-of-core sources run in
+  /// bounded memory. FC/FC-EC precompute the perfect frequency table from
+  /// the stream here (one extra chunked pass).
+  Simulator(SimConfig config, const workload::TraceSource& source);
+
+  /// In-memory convenience: wraps `trace` in a MaterializedTraceSource the
+  /// simulator owns. The trace must outlive the simulator.
   Simulator(SimConfig config, const workload::Trace& trace);
   ~Simulator();
 
@@ -315,8 +328,14 @@ class Simulator {
     Histogram& hops_hist;     ///< Pastry hops per P2P operation
   };
 
+  /// Primary constructor: exactly one of `owned` / `external` is set; the
+  /// public constructors forward here.
+  Simulator(SimConfig config, std::unique_ptr<const workload::TraceSource> owned,
+            const workload::TraceSource* external);
+
   SimConfig config_;
-  const workload::Trace& trace_;
+  std::unique_ptr<const workload::TraceSource> owned_source_;  ///< Trace-ctor adapter
+  const workload::TraceSource* source_;                        ///< never null
   std::unique_ptr<cache::CostBenefitCoordinator> coordinator_;
   std::shared_ptr<const std::vector<Uint128>> object_ids_;
   std::vector<Proxy> proxies_;
@@ -337,5 +356,7 @@ class Simulator {
 
 /// Convenience: construct, run, return metrics.
 [[nodiscard]] Metrics run_simulation(const SimConfig& config, const workload::Trace& trace);
+[[nodiscard]] Metrics run_simulation(const SimConfig& config,
+                                     const workload::TraceSource& source);
 
 }  // namespace webcache::sim

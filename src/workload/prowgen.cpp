@@ -49,6 +49,14 @@ ProWGen::ProWGen(ProWGenConfig config) : config_(config) {
 }
 
 Trace ProWGen::generate() const {
+  Trace trace;
+  trace.distinct_objects = config_.distinct_objects;
+  trace.requests.reserve(config_.total_requests);
+  generate([&trace](const Request& r) { trace.requests.push_back(r); });
+  return trace;
+}
+
+void ProWGen::generate(const RequestSink& sink) const {
   const auto& cfg = config_;
   const ObjectNum universe = cfg.distinct_objects;
   const auto one_timers = static_cast<ObjectNum>(
@@ -157,10 +165,6 @@ Trace ProWGen::generate() const {
     pool_mass.set(o, w);
   };
 
-  Trace trace;
-  trace.distinct_objects = universe;
-  trace.requests.reserve(cfg.total_requests);
-
   // Recent-reference window: a circular buffer of the last W requests,
   // newest-first addressable. Recency-biased stack draws pick a window
   // depth k with P(k) ~ 1/(k+1) — the skewed stack-depth distribution
@@ -222,7 +226,7 @@ Trace ProWGen::generate() const {
       recent_next = (recent_next + 1) % window;
     }
 
-    trace.requests.push_back(Request{
+    sink(Request{
         t,
         static_cast<ClientNum>(client_rng.next_below(cfg.clients)),
         object,
@@ -248,8 +252,6 @@ Trace ProWGen::generate() const {
       }
     }
   }
-
-  return trace;
 }
 
 }  // namespace webcache::workload

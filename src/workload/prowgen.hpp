@@ -89,6 +89,13 @@ class ProWGen {
   /// Generates the full trace. Deterministic in (config, seed).
   [[nodiscard]] Trace generate() const;
 
+  /// Streaming generation: hands each request to `sink` in stream order
+  /// instead of building a vector, so `trace compile` can write a
+  /// billion-request trace straight to disk in bounded memory (the working
+  /// set stays O(distinct_objects) for the popularity/stack bookkeeping).
+  /// Identical request sequence to generate() for the same config.
+  void generate(const RequestSink& sink) const;
+
   [[nodiscard]] const ProWGenConfig& config() const { return config_; }
 
  private:

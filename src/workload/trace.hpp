@@ -1,6 +1,7 @@
 // Request traces: the in-memory container plus a plain-text interchange
 // format so real proxy logs can be converted and replayed through the
-// simulator in place of the synthetic workloads.
+// simulator in place of the synthetic workloads. (The binary companion
+// format for out-of-core replay is wctrace.hpp.)
 //
 // File format (one request per line, '#' comments ignored):
 //     <time> <client> <object-or-url> [size]
@@ -10,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -27,12 +29,25 @@ struct Trace {
   [[nodiscard]] bool empty() const { return requests.empty(); }
 };
 
+/// Per-record consumer for the streaming readers/generators.
+using RequestSink = std::function<void(const Request&)>;
+
+/// Streaming text reader: parses `in` line by line (std::from_chars, no
+/// stream extraction) and hands each request to `sink` without ever holding
+/// the trace — the bounded-memory half of `trace compile`. Returns the
+/// object universe size (max id + 1, URLs mapped to dense ids in first-seen
+/// order). Throws std::runtime_error naming the 1-based line number and the
+/// offending token on malformed input (empty input is fine).
+ObjectNum read_trace_stream(std::istream& in, const RequestSink& sink);
+
 /// Reads a trace from a stream/file. Throws std::runtime_error on malformed
 /// input (wrong arity, non-numeric time/client, empty file is fine).
 [[nodiscard]] Trace read_trace(std::istream& in);
 [[nodiscard]] Trace read_trace_file(const std::string& path);
 
 /// Writes a trace in the text format (dense ids, size column included).
+/// Buffered: rows are formatted with std::to_chars into a chunk that is
+/// flushed in bulk, not streamed token by token.
 void write_trace(std::ostream& out, const Trace& trace);
 void write_trace_file(const std::string& path, const Trace& trace);
 

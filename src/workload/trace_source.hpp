@@ -1,0 +1,98 @@
+// TraceSource: the streaming request-stream abstraction the simulator, the
+// sweep driver and the benches replay from. A source describes an ordered
+// request stream over a dense object universe without prescribing where the
+// records live: the in-memory adapter wraps the classic workload::Trace
+// vector (zero overhead, the historical behaviour), while the wctrace/1
+// mmap reader (wctrace.hpp) serves sequential windows straight out of a
+// file mapping so traces far larger than RAM replay in bounded memory.
+//
+// The contract is positional and stateless: `window(pos, max_len)` returns a
+// zero-copy span of consecutive records starting at `pos`, clamped to the
+// stream length, and is safe to call concurrently (run_sweep replays one
+// shared source from many worker threads). `discard_consumed(pos)` is a
+// best-effort hint that records before `pos` are no longer needed by the
+// caller; the mmap source translates it into page release so a sequential
+// replay's resident set stays bounded by the chunk budget, not the trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "workload/trace.hpp"
+
+namespace webcache::workload {
+
+/// An ordered, positionally addressable request stream (see file comment).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Total number of requests in the stream.
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+
+  /// Object ids in the stream are in [0, distinct_objects()).
+  [[nodiscard]] virtual ObjectNum distinct_objects() const = 0;
+
+  /// Zero-copy view of records [pos, pos + max_len), clamped to the stream
+  /// length (empty once pos >= size()). The span stays valid for the
+  /// source's lifetime, though a later discard_consumed() may make
+  /// re-reading it cost page faults. Thread-safe.
+  [[nodiscard]] virtual std::span<const Request> window(std::uint64_t pos,
+                                                        std::size_t max_len) const = 0;
+
+  /// Best-effort hint that this reader is done with records before `pos`.
+  /// Sequential replays call it once per consumed chunk; sources backed by
+  /// RAM ignore it. Thread-safe; never affects correctness.
+  virtual void discard_consumed(std::uint64_t pos) const { (void)pos; }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+};
+
+/// In-memory adapter: a TraceSource view over a workload::Trace. Either
+/// borrows a caller-owned trace (which must outlive the source — the classic
+/// Simulator contract) or takes ownership of a moved-in one.
+class MaterializedTraceSource final : public TraceSource {
+ public:
+  /// Non-owning view; `trace` must outlive this source.
+  explicit MaterializedTraceSource(const Trace& trace) : trace_(&trace) {}
+
+  /// Owning: the source keeps the trace alive itself.
+  explicit MaterializedTraceSource(Trace&& trace)
+      : owned_(std::make_unique<Trace>(std::move(trace))), trace_(owned_.get()) {}
+
+  [[nodiscard]] std::uint64_t size() const override { return trace_->requests.size(); }
+
+  [[nodiscard]] ObjectNum distinct_objects() const override { return trace_->distinct_objects; }
+
+  [[nodiscard]] std::span<const Request> window(std::uint64_t pos,
+                                                std::size_t max_len) const override {
+    const std::uint64_t n = trace_->requests.size();
+    if (pos >= n) return {};
+    const auto len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_len, n - pos));
+    return {trace_->requests.data() + pos, len};
+  }
+
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
+
+ private:
+  std::unique_ptr<Trace> owned_;
+  const Trace* trace_;
+};
+
+/// Wraps a trace into a shared owning source (the benches' default path).
+[[nodiscard]] inline std::shared_ptr<const TraceSource> make_source(Trace&& trace) {
+  return std::make_shared<MaterializedTraceSource>(std::move(trace));
+}
+
+/// Copies a full stream back into a materialized Trace (tools/tests; the
+/// whole point of the streaming pipeline is that hot paths never need this).
+[[nodiscard]] Trace materialize(const TraceSource& source);
+
+/// Replay chunk budget, in requests per window, used by sequential replays
+/// (Simulator::run, analyze, cluster_infinite_cache_size). Defaults to
+/// 65536 requests (1.5 MiB of records); WEBCACHE_REPLAY_CHUNK overrides.
+[[nodiscard]] std::size_t default_replay_chunk();
+
+}  // namespace webcache::workload

@@ -6,17 +6,22 @@
 
 namespace webcache::workload {
 
-TraceStats analyze(const Trace& trace) {
+TraceStats analyze(const TraceSource& source) {
   TraceStats s;
-  s.total_requests = trace.requests.size();
-  s.distinct_objects = trace.distinct_objects;
-  s.frequency.assign(trace.distinct_objects, 0);
+  s.total_requests = source.size();
+  s.distinct_objects = source.distinct_objects();
+  s.frequency.assign(s.distinct_objects, 0);
 
-  for (const auto& r : trace.requests) {
-    if (r.object >= trace.distinct_objects) {
-      throw std::invalid_argument("analyze: request references object outside the universe");
+  const std::size_t chunk = default_replay_chunk();
+  for (std::uint64_t pos = 0; pos < s.total_requests;) {
+    const auto win = source.window(pos, chunk);
+    for (const auto& r : win) {
+      if (r.object >= s.distinct_objects) {
+        throw std::invalid_argument("analyze: request references object outside the universe");
+      }
+      ++s.frequency[r.object];
     }
-    ++s.frequency[r.object];
+    pos += win.size();
   }
 
   std::uint64_t referenced = 0;
@@ -45,6 +50,8 @@ TraceStats analyze(const Trace& trace) {
                            : static_cast<double>(top) / static_cast<double>(s.total_requests);
   return s;
 }
+
+TraceStats analyze(const Trace& trace) { return analyze(MaterializedTraceSource(trace)); }
 
 std::vector<double> per_proxy_frequency(const TraceStats& stats, unsigned cluster_size) {
   if (cluster_size == 0) {

@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "workload/trace.hpp"
+#include "workload/trace_source.hpp"
 
 namespace webcache::workload {
 
@@ -27,6 +27,9 @@ struct TraceStats {
   std::vector<std::uint64_t> frequency;
 };
 
+/// Single chunked pass over the stream; working memory is O(distinct
+/// objects), never O(requests), so analysis handles out-of-core traces.
+[[nodiscard]] TraceStats analyze(const TraceSource& source);
 [[nodiscard]] TraceStats analyze(const Trace& trace);
 
 /// Per-proxy frequency table for the cost-benefit coordinator: global counts

@@ -1,5 +1,5 @@
-// Tests for the trace tooling extensions: Squid access.log ingestion and
-// exact LRU stack-distance analysis.
+// Tests for the trace tooling extensions: Squid access.log ingestion, exact
+// LRU stack-distance analysis, and the text reader's error reporting.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -8,9 +8,44 @@
 #include "workload/prowgen.hpp"
 #include "workload/squid_log.hpp"
 #include "workload/stack_distance.hpp"
+#include "workload/trace.hpp"
 
 namespace webcache::workload {
 namespace {
+
+// --- text reader error reporting ---------------------------------------------
+
+std::string read_error_of(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)read_trace(in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(TraceReader, MalformedErrorsNameTheLineNumber) {
+  // Line 1 parses, line 2 (a comment) is skipped, line 3 is broken: the
+  // message must pin the failure to line 3 and quote the offending token.
+  const auto error = read_error_of("0 1 2 10\n# comment\n5 oops 2 10\n");
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("oops"), std::string::npos) << error;
+
+  EXPECT_NE(read_error_of("bad 1 2 10\n").find("line 1"), std::string::npos);
+  EXPECT_NE(read_error_of("0 1 2 10\n0 1 2 nope\n").find("line 2"), std::string::npos);
+}
+
+TEST(TraceReader, TrailingFieldsAreRejectedWithLineNumber) {
+  const auto error = read_error_of("0 1 2 10\n0 1 2 10 surplus\n");
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("surplus"), std::string::npos) << error;
+}
+
+TEST(TraceReader, MissingFieldsAreRejectedWithLineNumber) {
+  const auto error = read_error_of("0 1\n");
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
 
 // --- squid log ----------------------------------------------------------------
 

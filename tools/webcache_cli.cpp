@@ -1,6 +1,9 @@
 // webcache_cli — command-line driver for the simulator.
 //
 //   webcache_cli generate [workload flags] --out trace.txt
+//   webcache_cli trace compile --out trace.wct
+//                         [--in trace.txt [--squid] | workload flags]
+//   webcache_cli trace info --trace trace.wct [--verify]
 //   webcache_cli analyze  --trace trace.txt [--squid]
 //   webcache_cli simulate --scheme Hier-GD [workload/cluster flags]
 //                         [--churn-crashes N --churn-recover-after N
@@ -12,6 +15,12 @@
 //   webcache_cli sweep    [--schemes NC,SC,...] [--cache-pcts 10,20,...]
 //                         [workload/cluster flags] [--csv out.csv]
 //                         [--metrics-out m.json --snapshot-interval N]
+//
+// --trace accepts either the text format or a compiled wctrace/1 binary
+// (sniffed by magic). simulate and sweep replay a binary trace through the
+// mmap reader in bounded memory; `trace compile` converts text/Squid logs to
+// binary, or streams a ProWGen workload straight to disk without ever
+// materializing it.
 //
 // Workload flags (synthetic ProWGen; ignored when --trace/--squid given):
 //   --requests N --objects N --alpha X --one-timers X --stack X --seed N
@@ -63,6 +72,7 @@
 #include "workload/squid_log.hpp"
 #include "workload/stack_distance.hpp"
 #include "workload/trace_stats.hpp"
+#include "workload/wctrace.hpp"
 
 namespace {
 
@@ -71,9 +81,11 @@ using namespace webcache;
 [[noreturn]] void usage(const std::string& error = {}) {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
-      "usage: webcache_cli <generate|analyze|simulate|sweep> [flags]\n"
+      "usage: webcache_cli <generate|trace|analyze|simulate|sweep> [flags]\n"
       "  generate --out FILE [--requests N --objects N --alpha X --one-timers X\n"
       "           --stack X --amplifier X --recency-bias X --clients N --seed N]\n"
+      "  trace compile --out FILE.wct [--in FILE [--squid] | workload flags]\n"
+      "  trace info --trace FILE.wct [--verify]\n"
       "  analyze  --trace FILE [--squid]\n"
       "  simulate --scheme NAME [workload flags | --trace FILE [--squid]]\n"
       "           [--proxies N --clients N --cache-pct X --client-cache-pct X\n"
@@ -87,7 +99,9 @@ using namespace webcache;
       "  sweep    [--schemes A,B,...] [--cache-pcts 10,20,...] [--csv FILE]\n"
       "           [same workload/cluster flags as simulate]\n"
       "           [--metrics-out FILE --snapshot-interval N]\n"
-      "schemes: NC SC FC NC-EC SC-EC FC-EC Hier-GD Squirrel\n";
+      "schemes: NC SC FC NC-EC SC-EC FC-EC Hier-GD Squirrel\n"
+      "--trace accepts the text format or a compiled wctrace/1 binary (.wct);\n"
+      "binary traces replay through the mmap reader in bounded memory\n";
   std::exit(2);
 }
 
@@ -176,12 +190,24 @@ workload::Trace trace_from(const Flags& flags) {
                 << result.lines_skipped << ", malformed " << result.lines_malformed << "\n";
       return std::move(result.trace);
     }
+    if (workload::is_wctrace_file(path)) return workload::read_wctrace_file(path);
     return workload::read_trace_file(path);
   }
   return workload::ProWGen(workload_from(flags)).generate();
 }
 
-sim::SimConfig cluster_from(const Flags& flags, const workload::Trace& trace) {
+/// The streaming front door for simulate/sweep: a compiled wctrace gets the
+/// mmap reader (bounded memory, zero copies); everything else materializes
+/// behind the in-memory adapter.
+std::shared_ptr<const workload::TraceSource> source_from(const Flags& flags) {
+  if (flags.has("trace") && !flags.has("squid") &&
+      workload::is_wctrace_file(flags.str("trace", ""))) {
+    return workload::open_trace_source(flags.str("trace", ""));
+  }
+  return workload::make_source(trace_from(flags));
+}
+
+sim::SimConfig cluster_from(const Flags& flags, const workload::TraceSource& trace) {
   sim::SimConfig cfg;
   cfg.num_proxies = static_cast<unsigned>(flags.integer("proxies", 2));
   cfg.clients_per_cluster = static_cast<ClientNum>(flags.integer("clients", 100));
@@ -232,6 +258,77 @@ int cmd_generate(const Flags& flags) {
   std::cout << "wrote " << trace.size() << " requests over " << trace.distinct_objects
             << " objects to " << flags.str("out", "") << "\n";
   return 0;
+}
+
+int cmd_trace_compile(const Flags& flags) {
+  auto known = kWorkloadFlags;
+  known.insert(known.end(), {"in", "squid", "out"});
+  flags.reject_unknown(known);
+  if (!flags.has("out")) usage("trace compile needs --out FILE");
+  const auto out = flags.str("out", "");
+
+  workload::WctraceHeader header;
+  if (flags.has("in")) {
+    const auto in = flags.str("in", "");
+    if (flags.has("squid")) {
+      // Squid logs need the URL -> dense id mapping, so they materialize.
+      auto result = workload::read_squid_log_file(in);
+      std::cerr << "squid log: kept " << result.trace.size() << ", filtered "
+                << result.lines_skipped << ", malformed " << result.lines_malformed << "\n";
+      workload::write_wctrace_file(out, result.trace);
+      header = workload::read_wctrace_header(out);
+    } else if (workload::is_wctrace_file(in)) {
+      usage("trace compile input is already a wctrace binary: " + in);
+    } else {
+      // Text traces stream straight through: bounded memory end to end.
+      header = workload::compile_text_to_wctrace(in, out);
+    }
+  } else {
+    // Stream the generator into the writer; the trace never materializes.
+    const auto cfg = workload_from(flags);
+    workload::WctraceWriter writer(out);
+    writer.set_distinct_objects(cfg.distinct_objects);
+    workload::ProWGen(cfg).generate(
+        [&writer](const Request& r) { writer.append(r); });
+    header = writer.finalize();
+  }
+  std::cout << "wrote " << header.request_count << " requests over "
+            << header.distinct_objects << " objects to " << out << " (wctrace/"
+            << header.version << ", checksum 0x" << std::hex << header.checksum << std::dec
+            << ")\n";
+  return 0;
+}
+
+int cmd_trace_info(const Flags& flags) {
+  flags.reject_unknown({"trace", "verify"});
+  if (!flags.has("trace")) usage("trace info needs --trace FILE");
+  const auto path = flags.str("trace", "");
+  const auto header = workload::read_wctrace_header(path);
+  std::cout << "format            wctrace/" << header.version << "\n"
+            << "requests          " << header.request_count << "\n"
+            << "distinct objects  " << header.distinct_objects << "\n"
+            << "record size       " << header.record_size << " bytes\n"
+            << "payload           " << header.request_count * header.record_size
+            << " bytes (+" << workload::kWctraceHeaderSize << "-byte header)\n"
+            << "checksum          0x" << std::hex << header.checksum << std::dec << "\n";
+  if (flags.has("verify")) {
+    const workload::MmapTraceSource source(path);
+    if (!source.verify_checksum()) {
+      std::cerr << "error: checksum MISMATCH (file corrupt?)\n";
+      return 1;
+    }
+    std::cout << "checksum verified ok\n";
+  }
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3) usage("trace needs a subcommand: compile or info");
+  const std::string sub = argv[2];
+  const Flags flags(argc, argv, 3);
+  if (sub == "compile") return cmd_trace_compile(flags);
+  if (sub == "info") return cmd_trace_info(flags);
+  usage("unknown trace subcommand: " + sub);
 }
 
 int cmd_analyze(const Flags& flags) {
@@ -288,15 +385,15 @@ int cmd_simulate(const Flags& flags) {
   const auto scheme = sim::scheme_from_string(flags.str("scheme", "Hier-GD"));
   if (!scheme) usage("unknown scheme: " + flags.str("scheme", ""));
 
-  const auto trace = trace_from(flags);
-  auto cfg = cluster_from(flags, trace);
+  const auto source = source_from(flags);
+  auto cfg = cluster_from(flags, *source);
   cfg.scheme = *scheme;
   cfg.snapshot_interval = flags.integer("snapshot-interval", 0);
-  apply_churn_flags(flags, cfg, trace.size());
+  apply_churn_flags(flags, cfg, source->size());
   if (flags.has("trace-out")) {
     cfg.trace_capacity = flags.integer("trace-capacity", 1'000'000);
   }
-  const auto run = core::run_single(trace, cfg);
+  const auto run = core::run_single(*source, cfg);
   std::cout << "scheme: " << sim::to_string(*scheme) << "\n"
             << run.metrics.summary() << "latency gain vs NC: " << run.gain_percent
             << "%\n";
@@ -332,10 +429,10 @@ int cmd_sweep(const Flags& flags) {
                              "metrics-out", "snapshot-interval"});
   flags.reject_unknown(known);
 
-  const auto trace = trace_from(flags);
+  const auto source = source_from(flags);
 
   core::SweepConfig sweep;
-  sweep.base = cluster_from(flags, trace);
+  sweep.base = cluster_from(flags, *source);
   sweep.client_cache_percent = flags.num("client-cache-pct", 0.1);
   sweep.collect_observability = flags.has("metrics-out");
   sweep.snapshot_interval = flags.integer("snapshot-interval", 0);
@@ -373,7 +470,7 @@ int cmd_sweep(const Flags& flags) {
     }
   }
 
-  const auto result = core::run_sweep(trace, sweep);
+  const auto result = core::run_sweep(*source, sweep);
   core::print_gain_table(std::cout, result, "webcache_cli sweep");
   if (flags.has("csv")) {
     std::ofstream csv(flags.str("csv", ""));
@@ -396,6 +493,12 @@ int cmd_sweep(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  try {
+    if (command == "trace") return cmd_trace(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   const Flags flags(argc, argv, 2);
   try {
     if (command == "generate") return cmd_generate(flags);
