@@ -42,6 +42,7 @@ int main() {
       cfg.proxy_capacity = std::max<std::size_t>(
           1, static_cast<std::size_t>(static_cast<double>(infinite) * pct / 100.0));
       cfg.client_cache_capacity = std::max<std::size_t>(1, infinite / 1000);
+      cfg.sim_shards = bench::bench_sim_shards();
       const auto run = core::run_single(trace, cfg);
       std::cout << std::setw(12) << run.gain_percent;
     }

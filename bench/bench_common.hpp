@@ -12,6 +12,12 @@
 //                         Any positive value works; > 1 oversamples.
 //   WEBCACHE_THREADS      worker threads for run_sweep (default 0 = one per
 //                         core). Results are bitwise identical regardless.
+//   WEBCACHE_SIM_SHARDS   intra-run worker shards WITHIN each simulation
+//                         (default 0 = sequential engine; any value >= 1
+//                         yields byte-identical results — see README
+//                         "Sharded runs"). Composes with WEBCACHE_THREADS:
+//                         threads parallelize across sweep runs, shards
+//                         within each run.
 //   WEBCACHE_BENCH_JSON_DIR  directory for BENCH_<name>.json reports
 //                         (default: current directory).
 //   WEBCACHE_METRICS_OUT  path for a "webcache-metrics/1" JSON export of the
@@ -64,6 +70,10 @@ inline unsigned bench_threads() {
   return 0;
 }
 
+/// Intra-run shard count for every simulation a bench runs:
+/// WEBCACHE_SIM_SHARDS, or 0 (the sequential engine).
+inline unsigned bench_sim_shards() { return core::sim_shards_from_env(); }
+
 /// The paper's default synthetic workload (Section 5.1): one million
 /// requests over 10,000 distinct objects, 50% one-timers, alpha = 0.7.
 inline workload::ProWGenConfig paper_workload() {
@@ -115,6 +125,14 @@ class BenchReport {
   void add_throughput(const std::string& scheme, double requests_per_sec) {
     throughput_.emplace_back(scheme, requests_per_sec);
   }
+  /// Records a hard perf gate: check_perf.py fails the run (exit 1) when an
+  /// ENFORCED gate's value is below its minimum. `enforced` lets a bench
+  /// disarm a gate on hardware that cannot meaningfully measure it (e.g. a
+  /// parallel-speedup gate on a machine with fewer cores than shards) while
+  /// still reporting the measured value.
+  void add_gate(const std::string& name, double value, double min, bool enforced) {
+    gates_.push_back({name, value, min, enforced});
+  }
 
   /// Writes BENCH_<name>.json into WEBCACHE_BENCH_JSON_DIR (default: cwd).
   /// Returns the path written, or an empty string on I/O failure.
@@ -138,14 +156,35 @@ class BenchReport {
       out << (i ? ", " : "") << "\"" << throughput_[i].first
           << "\": " << throughput_[i].second;
     }
-    out << "}\n}\n";
+    out << "}";
+    // The gates object is emitted only when a gate was recorded, so reports
+    // of benches without gates keep their historical shape.
+    if (!gates_.empty()) {
+      out << ",\n  \"gates\": {";
+      for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate& g = gates_[i];
+        out << (i ? ", " : "") << "\"" << g.name << "\": {\"value\": " << g.value
+            << ", \"min\": " << g.min
+            << ", \"enforced\": " << (g.enforced ? "true" : "false") << "}";
+      }
+      out << "}";
+    }
+    out << "\n}\n";
     return out ? path : std::string{};
   }
 
  private:
+  struct Gate {
+    std::string name;
+    double value = 0.0;
+    double min = 0.0;
+    bool enforced = false;
+  };
+
   std::string name_;
   std::vector<std::pair<std::string, double>> sections_;
   std::vector<std::pair<std::string, double>> throughput_;
+  std::vector<Gate> gates_;
 };
 
 /// Observability plumbing shared by the sweep benches: parses

@@ -25,6 +25,7 @@ int main() {
     sim::SimConfig cfg;
   };
   std::vector<Variant> variants;
+  const unsigned shards = bench::bench_sim_shards();
 
   // Equal-storage comparison: Squirrel gets the same TOTAL budget Hier-GD
   // deploys (proxy cache + donated client storage), spread over its clients
@@ -38,6 +39,7 @@ int main() {
     c.clients_per_cluster = 100;
     c.client_cache_capacity =
         std::max<std::size_t>(1, (proxy_budget + 100 * per_client_donation) / 100);
+    c.sim_shards = shards;
     variants.push_back({"Squirrel", c});
   }
   {
@@ -47,6 +49,7 @@ int main() {
     c.clients_per_cluster = 100;
     c.client_cache_capacity = per_client_donation;
     c.proxy_capacity = proxy_budget;
+    c.sim_shards = shards;
     variants.push_back({"Hier-GD", c});
   }
   {
@@ -55,6 +58,7 @@ int main() {
     c.scheme = sim::Scheme::kSC;
     c.clients_per_cluster = 100;
     c.proxy_capacity = proxy_budget;
+    c.sim_shards = shards;
     variants.push_back({"SC", c});
   }
 

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   core::SweepConfig cfg;
   cfg.threads = bench::bench_threads();
+  cfg.base.sim_shards = bench::bench_sim_shards();
   obs.apply(cfg);
   const auto result = core::run_sweep(trace, cfg);
   core::print_gain_table(std::cout, result,

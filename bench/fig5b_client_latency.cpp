@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   for (const double ratio : ratios) {
     core::SweepConfig cfg;
     cfg.threads = bench::bench_threads();
+    cfg.base.sim_shards = bench::bench_sim_shards();
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.latencies = net::LatencyModel::from_ratios(/*ts_over_tc=*/10.0,
                                                         /*ts_over_tl=*/ratio);

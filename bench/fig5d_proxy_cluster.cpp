@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   for (const unsigned proxies : cluster_sizes) {
     core::SweepConfig cfg;
     cfg.threads = bench::bench_threads();
+    cfg.base.sim_shards = bench::bench_sim_shards();
     cfg.schemes = {sim::Scheme::kHierGD};
     cfg.base.num_proxies = proxies;
     obs.apply(cfg);

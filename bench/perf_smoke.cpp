@@ -14,10 +14,18 @@
 // >= 10x smaller than the trace ("trace_replay_stream"), a byte-equality
 // tripwire against the materialized replay, and the process peak RSS as a
 // bounded-memory proxy (section "peak_rss_mb"; informational, not gated).
+//
+// The "sharded_run" section measures the intra-run sharded engine on a
+// larger single Hier-GD simulation (8 clusters): throughput at 1, 2 and 8
+// shards plus the 8-shard speedup ratio, reported as the hard gate
+// "sharded_speedup_8x" (>= 3x, enforced only on machines with >= 8 hardware
+// threads — elsewhere the value is informational). A metrics tripwire pins
+// the 1-shard and 8-shard runs to identical results.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iomanip>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -143,6 +151,74 @@ int main() {
     }
 #endif
     std::remove(wct_path.c_str());
+  }
+
+  // --- intra-run sharding ---------------------------------------------------
+  {
+    // A single LARGE Hier-GD run is the configuration sharding exists for:
+    // one simulation, 8 clusters, too long to wait out sequentially. The
+    // workload is fixed like everything else in this bench.
+    workload::ProWGenConfig swl;
+    swl.total_requests = 160'000;
+    swl.distinct_objects = 16'000;
+    swl.one_timer_fraction = 0.5;
+    swl.zipf_alpha = 0.7;
+    swl.lru_stack_fraction = 0.2;
+    swl.clients = 100;
+    swl.seed = 2003;
+    const auto t_sgen = Clock::now();
+    const auto strace = workload::ProWGen(swl).generate();
+    report.add_section("sharded_run_generate", seconds_since(t_sgen));
+
+    sim::SimConfig base;
+    base.scheme = sim::Scheme::kHierGD;
+    base.num_proxies = 8;
+    base.clients_per_cluster = 25;
+    const ObjectNum sinf = core::cluster_infinite_cache_size(strace, base.num_proxies);
+    base.proxy_capacity = std::max<std::size_t>(1, sinf / 4);
+    base.client_cache_capacity = std::max<std::size_t>(1, sinf / 500);
+    base.object_ids = directory::build_object_id_table(strace.distinct_objects);
+
+    double rps1 = 0.0;
+    sim::Metrics one{};
+    const auto t_shard = Clock::now();
+    for (const unsigned shards : {1U, 2U, 8U}) {
+      sim::SimConfig cfg = base;
+      cfg.sim_shards = shards;
+      const auto t0 = Clock::now();
+      const auto metrics = sim::run_simulation(cfg, strace);
+      const double rps = static_cast<double>(strace.size()) / seconds_since(t0);
+      report.add_throughput("sharded_hier_gd_s" + std::to_string(shards), rps);
+      std::cout << std::setw(10) << ("# s" + std::to_string(shards)) << std::fixed
+                << std::setprecision(0) << rps << "\n";
+      if (shards == 1) {
+        rps1 = rps;
+        one = metrics;
+      } else if (shards == 8) {
+        // Determinism tripwire: any shard count must produce THE result.
+        if (metrics.requests != one.requests ||
+            metrics.hits_local_p2p != one.hits_local_p2p ||
+            metrics.server_fetches != one.server_fetches ||
+            metrics.total_latency != one.total_latency) {
+          std::cerr << "perf_smoke: 8-shard run diverged from 1-shard run\n";
+          return 1;
+        }
+        const double speedup = rps1 > 0.0 ? rps / rps1 : 0.0;
+        const bool enforce = std::thread::hardware_concurrency() >= 8;
+        report.add_gate("sharded_speedup_8x", speedup, 3.0, enforce);
+        std::cout << std::setw(10) << "# speedup" << std::setprecision(2) << speedup
+                  << (enforce ? "" : " (not enforced: < 8 hardware threads)") << "\n";
+      }
+    }
+    report.add_section("sharded_run", seconds_since(t_shard));
+
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      report.add_section("sharded_peak_rss_mb",
+                         static_cast<double>(usage.ru_maxrss) / 1024.0);
+    }
+#endif
   }
 
   const auto path = report.write_json();

@@ -5,21 +5,31 @@ The bench binaries (perf_smoke, and any bench using bench::BenchReport)
 emit machine-readable reports:
 
     {"name": "...", "sections": {"label": seconds, ...},
-     "requests_per_sec": {"scheme": rps, ...}}
+     "requests_per_sec": {"scheme": rps, ...},
+     "gates": {"name": {"value": v, "min": m, "enforced": bool}, ...}}
+
+("gates" is optional; benches without hard gates omit it.)
 
 Exit codes:
-  0  every baseline scheme is present and within the throughput band
+  0  every baseline scheme is present and within the throughput band, and
+     every enforced gate meets its minimum
   1  perf regression: a scheme's requests/sec dropped below ``--min-ratio``
-     times its baseline
+     times its baseline, or an enforced gate's value is below its minimum
   2  report problem (distinct from a regression): a file is missing or not
-     valid JSON, the baseline has no requests_per_sec, or a scheme present
-     in the baseline is absent from the current report
+     valid JSON, the baseline has no requests_per_sec, a scheme present in
+     the baseline is absent from the current report, or the CURRENT report
+     carries sections/schemes the baseline has never seen (a stale baseline
+     — refresh it with ``--update-baseline``)
 
 Sections are printed for context but not gated: absolute wall clock varies
 too much across machines, while the *ratio* of requests/sec on the same
 machine is a stable regression signal. The default band (0.5) is
 deliberately generous so only real hot-path regressions trip it, not
-scheduler noise.
+scheduler noise. Gates are different: they assert a property of THIS run
+(e.g. the 8-shard speedup ratio "sharded_speedup_8x" >= 3), so they are
+compared against their own embedded minimum, not against the baseline, and
+a bench disarms them (``"enforced": false``) on hardware that cannot
+meaningfully measure them.
 
 Usage:
     check_perf.py --baseline bench/baselines/BENCH_perf_smoke.json \
@@ -48,6 +58,34 @@ def load(path, what):
     except json.JSONDecodeError as err:
         print(f"error: {what} report {path} is not valid JSON: {err}", file=sys.stderr)
         sys.exit(2)
+
+
+def added_keys(baseline, current):
+    """Keys of the current report the baseline has never seen, as
+    'kind:name' labels — the signal that the baseline is stale."""
+    added = []
+    for kind in ("sections", "requests_per_sec", "gates"):
+        base_keys = set(baseline.get(kind, {}))
+        for key in current.get(kind, {}):
+            if key not in base_keys:
+                added.append(f"{kind}:{key}")
+    return sorted(added)
+
+
+def check_gates(current):
+    """Prints every gate; returns the list of enforced-gate failures."""
+    failures = []
+    for name, gate in sorted(current.get("gates", {}).items()):
+        value = gate.get("value", 0.0)
+        minimum = gate.get("min", 0.0)
+        enforced = gate.get("enforced", False)
+        ok = value >= minimum
+        status = "ok" if ok else ("GATE FAILED" if enforced else "below min (not enforced)")
+        print(f"gate {name}: {value:.3g} (min {minimum:.3g}, "
+              f"{'enforced' if enforced else 'informational'}) {status}")
+        if enforced and not ok:
+            failures.append(f"gate {name}: {value:.3g} is below its minimum {minimum:.3g}")
+    return failures
 
 
 def main():
@@ -81,6 +119,7 @@ def main():
                 file=sys.stderr,
             )
             return 2
+        added = added_keys(baseline, current)
         # Raw byte copy, not a JSON re-dump: the bench's own formatting is
         # the canonical baseline format.
         shutil.copyfile(args.current, args.baseline)
@@ -88,6 +127,10 @@ def main():
             old = baseline.get("requests_per_sec", {}).get(scheme)
             ref = f" (was {old:,.0f})" if old is not None else " (new)"
             print(f"{scheme}: baseline now {rps:,.0f} req/s{ref}")
+        if added:
+            print("\nnewly added baseline entries (absent from the old baseline):")
+            for key in added:
+                print(f"  {key}")
         print(f"\nbaseline {args.baseline} updated from {args.current}")
         return 0
 
@@ -119,6 +162,23 @@ def main():
         )
         return 2
 
+    # The mirror image: the current report measures things the baseline has
+    # never seen. The new entries would otherwise ride along ungated until
+    # someone remembered to refresh the baseline — fail loudly instead.
+    added = added_keys(baseline, current)
+    if added:
+        print(
+            f"error: current report {args.current} has entries absent from the "
+            f"baseline {args.baseline}: {', '.join(added)}",
+            file=sys.stderr,
+        )
+        print(
+            "(a bench gained a section/scheme/gate; refresh the committed "
+            "baseline with --update-baseline so the new entries are gated too)",
+            file=sys.stderr,
+        )
+        return 2
+
     failures = []
     for scheme, base in sorted(base_rps.items()):
         cur = cur_rps[scheme]
@@ -131,6 +191,8 @@ def main():
                 f"{scheme}: {cur:,.0f} req/s is below {args.min_ratio:.2f}x "
                 f"baseline ({base:,.0f} req/s)"
             )
+
+    failures.extend(check_gates(current))
 
     if failures:
         print("\nperf check FAILED:", file=sys.stderr)

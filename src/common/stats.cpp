@@ -42,6 +42,14 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: incompatible bounds or bucket count");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::quantile(double q) const {
   if (total_ == 0) return lo_;
   q = std::clamp(q, 0.0, 1.0);

@@ -63,6 +63,11 @@ class Histogram {
   /// within the containing bucket.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Pools another histogram into this one (bucket-wise count sum), so
+  /// per-shard distributions merge exactly. Both histograms must have been
+  /// constructed with identical bounds and bucket counts.
+  void merge(const Histogram& other);
+
   /// Multi-line ASCII rendering for bench output.
   [[nodiscard]] std::string render(std::size_t width = 50) const;
 

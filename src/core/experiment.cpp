@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <memory>
 #include <ostream>
@@ -16,6 +17,18 @@ namespace webcache::core {
 
 std::vector<double> default_cache_percents() {
   return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+unsigned sim_shards_from_env() {
+  static const unsigned shards = [] {
+    if (const char* env = std::getenv("WEBCACHE_SIM_SHARDS")) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && n <= 1024) return static_cast<unsigned>(n);
+    }
+    return 0U;
+  }();
+  return shards;
 }
 
 ObjectNum cluster_infinite_cache_size(const workload::TraceSource& source,

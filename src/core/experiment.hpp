@@ -19,6 +19,13 @@ namespace webcache::core {
 /// The paper's x-axis: 10% .. 100% of the infinite cache size.
 [[nodiscard]] std::vector<double> default_cache_percents();
 
+/// Default SimConfig::sim_shards, from WEBCACHE_SIM_SHARDS (0 — the classic
+/// sequential engine — when unset or unparsable). The CLI and every bench
+/// binary seed their configs from this, so one environment variable turns on
+/// intra-run sharding across the whole tool surface (see README "Sharded
+/// runs").
+[[nodiscard]] unsigned sim_shards_from_env();
+
 /// The "infinite cache size" of one client cluster's request stream: the
 /// number of distinct objects requested more than once by the clients of a
 /// single proxy under round-robin request partitioning (paper Section 5.1).

@@ -120,6 +120,13 @@ class Registry {
     return counters_.names;
   }
   [[nodiscard]] const std::vector<std::string>& gauge_names() const { return gauges_.names; }
+  /// Stat/histogram names in registration order — the sharded engine's merge
+  /// walks per-shard registries by index range and replays instruments into
+  /// the canonical registry in construction order.
+  [[nodiscard]] const std::vector<std::string>& stat_names() const { return stats_.names; }
+  [[nodiscard]] const std::vector<std::string>& histogram_names() const {
+    return histograms_.names;
+  }
 
   // --- interval snapshots --------------------------------------------------
   /// Enables snapshots every `every_n` ticks (0 disables). The producer calls

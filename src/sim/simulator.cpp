@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sim/sharded.hpp"
+
 namespace webcache::sim {
 
 using net::ServedFrom;
@@ -77,10 +79,39 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
         config_.latencies.server(), config_.latencies.proxy_to_proxy());
   }
 
+  // Intra-run sharding: any sim_shards >= 1 on a supported shape selects the
+  // sharded engine. Clusters then bind their instruments into per-shard
+  // registries and cooperate through epoch-start digests instead of the
+  // live residency index; unsupported shapes keep the sequential engine at
+  // any sim_shards value (see SimConfig::sim_shards).
+  if (config_.sim_shards > 0 && sharding_supported(config_)) {
+    sharded_ = std::make_unique<ShardedState>();
+    ShardedState& st = *sharded_;
+    st.shards = std::min(config_.sim_shards, config_.num_proxies);
+    st.epoch_len = config_.shard_epoch > 0 ? config_.shard_epoch : kDefaultShardEpoch;
+    st.shard_registries.reserve(st.shards);
+    for (unsigned s = 0; s < st.shards; ++s) {
+      st.shard_registries.push_back(std::make_unique<obs::Registry>());
+    }
+    st.lanes.reserve(config_.num_proxies);
+    for (unsigned c = 0; c < config_.num_proxies; ++c) {
+      st.lanes.emplace_back(config_.latencies);
+    }
+    st.outbox.resize(st.shards);
+    st.use_primary = proxies_cooperate(config_.scheme);
+    st.use_secondary = config_.scheme == Scheme::kSC_EC;
+    st.use_dir = config_.scheme == Scheme::kHierGD;
+    if (st.use_primary) st.digest_primary.assign(universe, 0);
+    if (st.use_secondary) st.digest_secondary.assign(universe, 0);
+    if (st.use_dir) st.digest_dir.assign(universe, 0);
+  }
+
   // The residency index accelerates the cooperative remote-lookup scans; one
   // bit per proxy caps the fast path at 64 proxies (beyond that the
-  // historical per-proxy probe loops take over).
-  residency_enabled_ = proxies_cooperate(config_.scheme) && config_.num_proxies <= 64;
+  // historical per-proxy probe loops take over). The sharded engine replaces
+  // it with the epoch digests above.
+  residency_enabled_ =
+      !sharded_ && proxies_cooperate(config_.scheme) && config_.num_proxies <= 64;
   if (residency_enabled_) {
     res_primary_.assign(universe, 0);
     if (config_.scheme == Scheme::kSC_EC || config_.scheme == Scheme::kFC_EC) {
@@ -128,11 +159,46 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
   loss_ = fault::LossModel(config_.p2p_loss_rate,
                            SplitMix64(config_.seed ^ 0x4c4f5353ULL).next());
 
+  if (sharded_) {
+    // Per-cluster slices of the globally sorted schedule (the stable filter
+    // preserves same-cluster order) and per-(seed, cluster) loss substreams,
+    // so each lane's draws depend only on its own event/transfer sequence.
+    std::vector<std::vector<fault::ChurnEvent>> per_cluster(config_.num_proxies);
+    for (const auto& event : churn_.events()) {
+      if (event.proxy >= config_.num_proxies) {
+        throw std::invalid_argument("Simulator: failure event references unknown proxy");
+      }
+      per_cluster[event.proxy].push_back(event);
+    }
+    for (unsigned c = 0; c < config_.num_proxies; ++c) {
+      ShardedState::Lane& lane = sharded_->lanes[c];
+      lane.churn = fault::ChurnEngine(std::move(per_cluster[c]));
+      lane.loss = fault::LossModel(
+          config_.p2p_loss_rate,
+          SplitMix64(config_.seed ^ 0x4c4f5353ULL ^ (0x9e3779b97f4a7c15ULL * (c + 1)))
+              .next());
+    }
+  }
+
   proxies_.resize(config_.num_proxies);
   for (unsigned p = 0; p < config_.num_proxies; ++p) {
     Proxy& proxy = proxies_[p];
     const std::string proxy_prefix = "proxy" + std::to_string(p) + ".";
     const std::string cluster_prefix = "cluster" + std::to_string(p) + ".";
+    // Sharded runs bind each cluster's instruments into its shard's private
+    // registry (no cross-thread sharing on the hot path); the post-run fold
+    // replays them into the canonical registry in cluster order. The index
+    // ranges recorded around the construction identify exactly this
+    // cluster's block inside the shard registry.
+    obs::Registry& reg =
+        sharded_ ? *sharded_->shard_registries[p % sharded_->shards] : *registry_;
+    ShardedState::Lane* lane = sharded_ ? &sharded_->lanes[p] : nullptr;
+    if (lane != nullptr) {
+      lane->c0 = reg.counter_names().size();
+      lane->g0 = reg.gauge_names().size();
+      lane->s0 = reg.stat_names().size();
+      lane->h0 = reg.histogram_names().size();
+    }
     if (config_.browser_cache_capacity > 0) {
       proxy.browsers.reserve(config_.clients_per_cluster);
       for (ClientNum c = 0; c < config_.clients_per_cluster; ++c) {
@@ -146,13 +212,13 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
         proxy.cache =
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode);
         proxy.cache->reserve_universe(universe);
-        proxy.cache->bind_observability(*registry_, proxy_prefix + "cache.");
+        proxy.cache->bind_observability(reg, proxy_prefix + "cache.");
         break;
       case Scheme::kFC:
         proxy.cache =
             std::make_unique<cache::CostBenefitCache>(config_.proxy_capacity, *coordinator_);
         proxy.cache->reserve_universe(universe);
-        proxy.cache->bind_observability(*registry_, proxy_prefix + "cache.");
+        proxy.cache->bind_observability(reg, proxy_prefix + "cache.");
         break;
       case Scheme::kNC_EC:
       case Scheme::kSC_EC:
@@ -160,7 +226,7 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
             std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode),
             std::make_unique<cache::LfuCache>(p2p_capacity, config_.lfu_mode));
         proxy.tiered->reserve_universe(universe);
-        proxy.tiered->bind_observability(*registry_, proxy_prefix + "tiered.");
+        proxy.tiered->bind_observability(reg, proxy_prefix + "tiered.");
         if (residency_enabled_) {
           proxy.tiered->set_transition_hook(
               [this, p](ObjectNum object, TieredCache::Where now) {
@@ -179,13 +245,37 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
                     break;
                 }
               });
+        } else if (sharded_ && config_.scheme == Scheme::kSC_EC) {
+          // Sharded SC-EC: tier transitions feed the cluster's digest change
+          // log instead of the live residency index; the deltas apply to the
+          // shared digests at the epoch barrier. Only this cluster's shard
+          // fires the hook (refreshes never change membership), so the log
+          // stays single-writer.
+          proxy.tiered->set_transition_hook(
+              [lane](ObjectNum object, TieredCache::Where now) {
+                using DA = ShardedState::DigestArray;
+                switch (now) {
+                  case TieredCache::Where::kTier1:
+                    lane->log.push_back({object, DA::kPrimary, true});
+                    lane->log.push_back({object, DA::kSecondary, false});
+                    break;
+                  case TieredCache::Where::kTier2:
+                    lane->log.push_back({object, DA::kSecondary, true});
+                    lane->log.push_back({object, DA::kPrimary, false});
+                    break;
+                  case TieredCache::Where::kMiss:
+                    lane->log.push_back({object, DA::kPrimary, false});
+                    lane->log.push_back({object, DA::kSecondary, false});
+                    break;
+                }
+              });
         }
         break;
       case Scheme::kFC_EC:
         proxy.unified = std::make_unique<cache::CostBenefitCache>(
             config_.proxy_capacity + p2p_capacity, *coordinator_);
         proxy.unified->reserve_universe(universe);
-        proxy.unified->bind_observability(*registry_, proxy_prefix + "cache.");
+        proxy.unified->bind_observability(reg, proxy_prefix + "cache.");
         proxy.tier_tracker = std::make_unique<cache::LruCache>(config_.proxy_capacity);
         break;
       case Scheme::kHierGD: {
@@ -208,16 +298,16 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
         pc.overlay = config_.overlay;
         pc.enable_diversion = config_.enable_diversion;
         pc.name_prefix = "cluster" + std::to_string(p);
-        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, registry_.get());
+        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, &reg);
         proxy.fetch_cost.reserve(universe);
         proxy.gd->reserve_universe(universe);
-        proxy.gd->bind_observability(*registry_, proxy_prefix + "cache.");
+        proxy.gd->bind_observability(reg, proxy_prefix + "cache.");
         if (config_.directory == DirectoryKind::kExact) {
-          proxy.dir = std::make_unique<directory::ExactDirectory>(registry_.get(),
+          proxy.dir = std::make_unique<directory::ExactDirectory>(&reg,
                                                                   cluster_prefix + "dir.");
         } else {
           proxy.dir = std::make_unique<directory::BloomDirectory>(
-              object_ids_, p2p_capacity, config_.bloom_target_fpr, registry_.get(),
+              object_ids_, p2p_capacity, config_.bloom_target_fpr, &reg,
               cluster_prefix + "dir.");
         }
         break;
@@ -232,11 +322,33 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
         pc.overlay = config_.overlay;
         pc.enable_diversion = config_.enable_diversion;
         pc.name_prefix = "org" + std::to_string(p);
-        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, registry_.get());
+        proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, &reg);
         break;
       }
     }
+    if (lane != nullptr) {
+      lane->c1 = reg.counter_names().size();
+      lane->g1 = reg.gauge_names().size();
+      lane->s1 = reg.stat_names().size();
+      lane->h1 = reg.histogram_names().size();
+    }
   }
+}
+
+bool Simulator::sharding_supported(const SimConfig& config) {
+  // FC/FC-EC: the clairvoyant cost-benefit coordinator couples every proxy's
+  // replacement decisions per request — inherently globally sequential.
+  if (config.scheme == Scheme::kFC || config.scheme == Scheme::kFC_EC) return false;
+  // Interval snapshots and the event tracer are globally ordered streams of
+  // the sequential engine, as are checkpoint/audit hooks (they probe global
+  // mid-run state at exact positions).
+  if (config.snapshot_interval > 0 || config.trace_capacity > 0) return false;
+  if (config.checkpoint_hook) return false;
+  // A single cluster has nothing to parallelize over.
+  if (config.num_proxies < 2) return false;
+  // The cooperation digests are 64-bit cluster masks.
+  if (proxies_cooperate(config.scheme) && config.num_proxies > 64) return false;
+  return true;
 }
 
 Simulator::~Simulator() = default;
@@ -405,6 +517,8 @@ void Simulator::maybe_lose_p2p_message() {
 Metrics Simulator::run() {
   if (ran_) throw std::logic_error("Simulator::run: already ran (one-shot)");
   ran_ = true;
+
+  if (sharded_) return run_sharded();
 
   const std::uint64_t checkpoint = config_.checkpoint_interval;
   bool checked_at_end = false;

@@ -160,6 +160,28 @@ struct SimConfig {
   /// sequence is identical for any chunking). 0 = the process default
   /// (workload::default_replay_chunk, WEBCACHE_REPLAY_CHUNK overridable).
   std::size_t replay_chunk = 0;
+  /// Intra-run sharding: number of worker shards one simulation is
+  /// partitioned across. 0 (the default) selects the classic sequential
+  /// engine, bit-for-bit unchanged. Any value >= 1 selects the sharded
+  /// engine: proxy clusters (and their client populations) are partitioned
+  /// round-robin over min(sim_shards, num_proxies) worker threads, each
+  /// replaying its clusters' slice of the trace against its own data plane,
+  /// with cross-cluster interactions resolved through an epoch-digest
+  /// barrier protocol keyed on trace position. Results are byte-identical
+  /// for EVERY sim_shards >= 1 (the value only sets the parallelism), but
+  /// the cooperative schemes' numbers differ in detail from the sequential
+  /// engine because remote lookups consult epoch-start digests (see README
+  /// "Sharded runs"). Configurations whose semantics are inherently global
+  /// — FC/FC-EC (clairvoyant coordinator), interval snapshots, the event
+  /// tracer, checkpoint/audit hooks, a single proxy, or cooperative runs
+  /// with > 64 proxies — fall back to the sequential engine at any value.
+  unsigned sim_shards = 0;
+  /// Digest refresh period of the sharded engine, in trace positions
+  /// (0 = default, 8192). A semantic parameter of the sharded engine:
+  /// cross-cluster lookups within an epoch see the epoch-start digest.
+  /// Results depend on it — but never on sim_shards, threads, or
+  /// replay_chunk. Ignored by the sequential engine.
+  std::uint64_t shard_epoch = 0;
 };
 
 class Simulator {
@@ -217,7 +239,14 @@ class Simulator {
   }
   [[nodiscard]] const fault::ChurnEngine& churn() const { return churn_; }
 
+  /// True when `config` actually runs the sharded engine at sim_shards >= 1;
+  /// false means any sim_shards value falls back to the sequential engine
+  /// (see SimConfig::sim_shards for the list of sequential-only shapes).
+  [[nodiscard]] static bool sharding_supported(const SimConfig& config);
+
  private:
+  friend struct ShardedRunEngine;  ///< the sharded run loop (sharded_run.cpp)
+
   struct Proxy {
     // NC / SC / FC
     std::unique_ptr<cache::Cache> cache;
@@ -333,6 +362,20 @@ class Simulator {
   Simulator(SimConfig config, std::unique_ptr<const workload::TraceSource> owned,
             const workload::TraceSource* external);
 
+  // --- intra-run sharding (sim/sharded_run.cpp) ----------------------------
+  /// All sharded-engine state: per-cluster lanes (accumulators, churn/loss
+  /// substreams, digest change logs, instrument index ranges), per-shard
+  /// registries, cooperation digests and the deferred-op outboxes. Null when
+  /// the sequential engine runs.
+  struct ShardedState;
+  /// The sharded run loop: per epoch, phase 1 (parallel local replay against
+  /// epoch-start digests), phase 2a (apply inbound cross-cluster ops in trace
+  /// order), phase 2b (complete own deferred requests), then a single-threaded
+  /// digest/outbox flush; finally folds every lane and shard registry into
+  /// the canonical registry in cluster order.
+  Metrics run_sharded();
+  void sharded_fold();
+
   SimConfig config_;
   std::unique_ptr<const workload::TraceSource> owned_source_;  ///< Trace-ctor adapter
   const workload::TraceSource* source_;                        ///< never null
@@ -352,6 +395,7 @@ class Simulator {
   bool residency_enabled_ = false;
   std::vector<std::uint64_t> res_primary_;
   std::vector<std::uint64_t> res_secondary_;
+  std::unique_ptr<ShardedState> sharded_;  ///< non-null = sharded engine runs
 };
 
 /// Convenience: construct, run, return metrics.

@@ -1,0 +1,196 @@
+// Determinism contract of the intra-run sharded engine (SimConfig::
+// sim_shards): for every scheme, every export must be byte-identical for ANY
+// shard count >= 1 — with and without churn/loss, replaying in memory or
+// streamed from a compiled .wct with a small replay chunk — and a sweep's
+// write_metrics_json must not depend on shards x threads. Unsupported
+// configurations (FC/FC-EC, snapshots, tracer, audit hooks, single proxy)
+// must fall back to the sequential engine bit-exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fault/churn_schedule.hpp"
+#include "obs/registry.hpp"
+#include "sim/simulator.hpp"
+#include "workload/prowgen.hpp"
+#include "workload/wctrace.hpp"
+
+namespace {
+
+using namespace webcache;
+
+workload::Trace shard_trace() {
+  workload::ProWGenConfig wl;
+  wl.total_requests = 30'000;
+  wl.distinct_objects = 3'000;
+  wl.seed = 2003;
+  return workload::ProWGen(wl).generate();
+}
+
+sim::SimConfig shard_config(sim::Scheme scheme) {
+  sim::SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_proxies = 8;
+  cfg.proxy_capacity = 150;
+  cfg.clients_per_cluster = 20;
+  cfg.client_cache_capacity = 4;
+  cfg.shard_epoch = 1024;  // several epochs over 30k requests
+  return cfg;
+}
+
+/// Runs `cfg` over `trace` and returns the full registry JSON export.
+std::string export_of(sim::SimConfig cfg, const workload::Trace& trace) {
+  cfg.registry = std::make_shared<obs::Registry>();
+  (void)sim::run_simulation(cfg, trace);
+  std::ostringstream out;
+  cfg.registry->write_json(out, "sharded_determinism");
+  return out.str();
+}
+
+std::string export_of(sim::SimConfig cfg, const workload::TraceSource& source) {
+  cfg.registry = std::make_shared<obs::Registry>();
+  sim::Simulator simulator(cfg, source);
+  (void)simulator.run();
+  std::ostringstream out;
+  cfg.registry->write_json(out, "sharded_determinism");
+  return out.str();
+}
+
+std::vector<sim::Scheme> all_schemes_plus_squirrel() {
+  std::vector<sim::Scheme> schemes(sim::kAllSchemes.begin(), sim::kAllSchemes.end());
+  schemes.push_back(sim::Scheme::kSquirrel);
+  return schemes;
+}
+
+TEST(ShardedDeterminism, ExportsAreByteIdenticalForAnyShardCount) {
+  const auto trace = shard_trace();
+  for (const auto scheme : all_schemes_plus_squirrel()) {
+    auto cfg = shard_config(scheme);
+    cfg.sim_shards = 1;
+    const std::string one = export_of(cfg, trace);
+    for (const unsigned shards : {2U, 8U, 13U}) {
+      cfg.sim_shards = shards;
+      EXPECT_EQ(one, export_of(cfg, trace))
+          << sim::to_string(scheme) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, ChurnAndLossRunsAreShardCountIndependent) {
+  const auto trace = shard_trace();
+  for (const auto scheme : {sim::Scheme::kHierGD, sim::Scheme::kSquirrel}) {
+    auto cfg = shard_config(scheme);
+    fault::ChurnSpec spec;
+    spec.start = 5'000;
+    spec.crashes = 4;
+    spec.recover_after = 4'000;
+    spec.joins = 2;
+    spec.repair_every = 7'000;
+    cfg.churn_events = fault::make_schedule(spec, trace.size(), cfg.num_proxies,
+                                            cfg.clients_per_cluster);
+    cfg.p2p_loss_rate = 0.02;
+    cfg.sim_shards = 1;
+    const std::string one = export_of(cfg, trace);
+    for (const unsigned shards : {2U, 8U}) {
+      cfg.sim_shards = shards;
+      EXPECT_EQ(one, export_of(cfg, trace))
+          << sim::to_string(scheme) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, StreamedWctReplayMatchesInMemoryAtEveryShardCount) {
+  const auto trace = shard_trace();
+  const std::string path = ::testing::TempDir() + "sharded_determinism.wct";
+  workload::write_wctrace_file(path, trace);
+  const workload::MmapTraceSource source(path);
+
+  for (const auto scheme : {sim::Scheme::kSC, sim::Scheme::kHierGD}) {
+    auto cfg = shard_config(scheme);
+    cfg.sim_shards = 1;
+    const std::string reference = export_of(cfg, trace);
+    // A replay chunk far smaller than the epoch forces many windows per
+    // epoch; chunking must never leak into results.
+    cfg.replay_chunk = 512;
+    for (const unsigned shards : {1U, 8U}) {
+      cfg.sim_shards = shards;
+      EXPECT_EQ(reference, export_of(cfg, source))
+          << sim::to_string(scheme) << " shards=" << shards;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ShardedDeterminism, UnsupportedConfigsFallBackToTheSequentialEngine) {
+  const auto trace = shard_trace();
+
+  // FC's clairvoyant coordinator is inherently global.
+  auto fc = shard_config(sim::Scheme::kFC);
+  EXPECT_FALSE(sim::Simulator::sharding_supported(fc));
+  const std::string fc_seq = export_of(fc, trace);
+  fc.sim_shards = 8;
+  EXPECT_EQ(fc_seq, export_of(fc, trace));
+
+  // Interval snapshots tick per request in trace order.
+  auto snap = shard_config(sim::Scheme::kSC);
+  snap.snapshot_interval = 1'000;
+  EXPECT_FALSE(sim::Simulator::sharding_supported(snap));
+
+  // A single proxy has no clusters to partition.
+  auto solo = shard_config(sim::Scheme::kHierGD);
+  solo.num_proxies = 1;
+  EXPECT_FALSE(sim::Simulator::sharding_supported(solo));
+
+  // The supported shapes report so.
+  EXPECT_TRUE(sim::Simulator::sharding_supported(shard_config(sim::Scheme::kNC)));
+  EXPECT_TRUE(sim::Simulator::sharding_supported(shard_config(sim::Scheme::kHierGD)));
+  EXPECT_TRUE(sim::Simulator::sharding_supported(shard_config(sim::Scheme::kSquirrel)));
+}
+
+TEST(ShardedDeterminism, ShardedRunStillServesEveryRequest) {
+  const auto trace = shard_trace();
+  for (const auto scheme : all_schemes_plus_squirrel()) {
+    auto cfg = shard_config(scheme);
+    cfg.sim_shards = 8;
+    cfg.registry = std::make_shared<obs::Registry>();
+    const auto metrics = sim::run_simulation(cfg, trace);
+    EXPECT_EQ(metrics.requests, trace.size()) << sim::to_string(scheme);
+    EXPECT_EQ(metrics.total_hits() + metrics.server_fetches, metrics.requests)
+        << sim::to_string(scheme);
+    EXPECT_EQ(cfg.registry->counter_value("sim.requests"), trace.size())
+        << sim::to_string(scheme);
+  }
+}
+
+TEST(ShardedDeterminism, SweepMetricsExportIsShardAndThreadCountIndependent) {
+  const auto trace = shard_trace();
+  core::SweepConfig sweep;
+  sweep.schemes = {sim::Scheme::kSC, sim::Scheme::kHierGD};
+  sweep.cache_percents = {1.0, 5.0};
+  sweep.base = shard_config(sim::Scheme::kNC);
+  sweep.collect_observability = true;
+
+  std::string reference;
+  for (const unsigned shards : {1U, 8U}) {
+    for (const unsigned threads : {1U, 8U}) {
+      sweep.base.sim_shards = shards;
+      sweep.threads = threads;
+      const auto result = core::run_sweep(trace, sweep);
+      std::ostringstream out;
+      core::write_metrics_json(out, result, "sharded_sweep");
+      if (reference.empty()) {
+        reference = out.str();
+      } else {
+        EXPECT_EQ(reference, out.str()) << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -29,6 +29,12 @@
 //   --proxies N --clients N --cache-pct X --client-cache-pct X
 //   --directory exact|bloom --bloom-fpr X --no-diversion
 //   --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N
+//   --shards N              intra-run sharding: partition ONE simulation
+//                           across N worker threads (clusters round-robin
+//                           over shards; byte-identical results for any
+//                           N >= 1; 0 = classic sequential engine). Default
+//                           from WEBCACHE_SIM_SHARDS. See README
+//                           "Sharded runs" for the determinism contract.
 // Observability flags (schema "webcache-metrics/1", see README):
 //   --metrics-out FILE      full registry export; .csv extension selects the
 //                           flat CSV form, anything else writes JSON
@@ -52,8 +58,11 @@
 //                           (needs a WEBCACHE_AUDIT=ON build)
 //
 // Environment:
-//   WEBCACHE_THREADS  worker threads for sweep (default 0 = one per core;
-//                     results are bitwise identical regardless).
+//   WEBCACHE_THREADS     worker threads for sweep (default 0 = one per core;
+//                        results are bitwise identical regardless).
+//   WEBCACHE_SIM_SHARDS  default for --shards: worker shards WITHIN one
+//                        simulation (0 = sequential engine; any value >= 1
+//                        yields byte-identical results).
 //
 // Exit code 0 on success, 2 on usage errors.
 #include <cstdlib>
@@ -160,7 +169,7 @@ const std::vector<std::string> kWorkloadFlags = {
 };
 const std::vector<std::string> kClusterFlags = {
     "proxies", "cache-pct", "client-cache-pct", "directory", "bloom-fpr",
-    "no-diversion", "ts-tc", "ts-tl", "tp2p-tl", "browser-cache",
+    "no-diversion", "ts-tc", "ts-tl", "tp2p-tl", "browser-cache", "shards",
 };
 const std::vector<std::string> kChurnFlags = {
     "churn-crashes", "churn-recover-after", "churn-joins", "churn-repair-every",
@@ -231,6 +240,8 @@ sim::SimConfig cluster_from(const Flags& flags, const workload::TraceSource& tra
   cfg.bloom_target_fpr = flags.num("bloom-fpr", cfg.bloom_target_fpr);
   cfg.enable_diversion = !flags.has("no-diversion");
   cfg.browser_cache_capacity = flags.integer("browser-cache", 0);
+  cfg.sim_shards =
+      static_cast<unsigned>(flags.integer("shards", core::sim_shards_from_env()));
   return cfg;
 }
 
