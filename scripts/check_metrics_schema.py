@@ -12,7 +12,10 @@ Accepts both document shapes the repo emits:
 A metrics body must contain the five sections (counters, gauges, stats,
 histograms, snapshots) with the documented value shapes, and its "sim.*"
 counters — when present — must be internally consistent (hits + server
-fetches == requests). Exits 0 when valid, 1 with a message when not.
+fetches == requests). Per-cache "<prefix>policy.*" counters (TinyLFU
+admission, W-TinyLFU, ARC) must balance: admission_considered ==
+admission_accepts + admission_rejects for every cache instance. Exits 0
+when valid, 1 with a message when not.
 
 Usage: check_metrics_schema.py FILE [FILE...]
 """
@@ -100,6 +103,27 @@ def check_metrics_body(body, where):
             where,
             f"sim outcome counters sum to {outcomes}, "
             f"but sim.requests is {counters['sim.requests']}",
+        )
+
+    # Policy namespace (TinyLFU admission / W-TinyLFU / ARC): every admission
+    # decision is either an accept or a reject, per cache instance. Counter
+    # names are "<instance-prefix>policy.<what>", so group by the prefix.
+    policy_prefixes = {
+        name[: name.index("policy.")]
+        for name in counters
+        if "policy." in name
+    }
+    for prefix in sorted(policy_prefixes):
+        considered = counters.get(prefix + "policy.admission_considered")
+        if considered is None:
+            continue  # an ARC instance: ghost counters only, no admission
+        accepts = counters.get(prefix + "policy.admission_accepts", 0)
+        rejects = counters.get(prefix + "policy.admission_rejects", 0)
+        require(
+            accepts + rejects == considered,
+            where,
+            f"'{prefix}policy.admission_accepts' ({accepts}) + rejects "
+            f"({rejects}) != considered ({considered})",
         )
 
     # Fault-injection ledger: every lost P2P transfer is retried exactly

@@ -72,6 +72,15 @@ def added_keys(baseline, current):
     return sorted(added)
 
 
+def refresh_command(args):
+    """The exact command that refreshes the stale baseline — printed on both
+    exit-2 stale paths so the fix is a copy-paste, not an archaeology dig."""
+    return (
+        f"python3 scripts/check_perf.py --baseline {args.baseline} "
+        f"--current {args.current} --update-baseline"
+    )
+
+
 def check_gates(current):
     """Prints every gate; returns the list of enforced-gate failures."""
     failures = []
@@ -160,6 +169,10 @@ def main():
             "refreshing the baseline?)",
             file=sys.stderr,
         )
+        print(
+            f"if the rename is deliberate, refresh with:\n  {refresh_command(args)}",
+            file=sys.stderr,
+        )
         return 2
 
     # The mirror image: the current report measures things the baseline has
@@ -174,9 +187,10 @@ def main():
         )
         print(
             "(a bench gained a section/scheme/gate; refresh the committed "
-            "baseline with --update-baseline so the new entries are gated too)",
+            "baseline so the new entries are gated too:)",
             file=sys.stderr,
         )
+        print(f"  {refresh_command(args)}", file=sys.stderr)
         return 2
 
     failures = []

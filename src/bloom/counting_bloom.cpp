@@ -72,6 +72,18 @@ bool CountingBloomFilter::may_contain(const Uint128& key) const {
   return true;
 }
 
+std::uint8_t CountingBloomFilter::estimate(const Uint128& key) const {
+  std::uint8_t min = kMaxCount;
+  for (unsigned i = 0; i < hashes_; ++i) {
+    min = std::min(min, cells_[probe(key, i)]);
+  }
+  return min;
+}
+
+void CountingBloomFilter::halve() {
+  for (auto& cell : cells_) cell >>= 1;
+}
+
 void CountingBloomFilter::clear() {
   std::fill(cells_.begin(), cells_.end(), 0);
   saturations_ = 0;

@@ -31,6 +31,15 @@ class CountingBloomFilter {
 
   [[nodiscard]] bool may_contain(const Uint128& key) const;
 
+  /// Count-min style frequency estimate: the minimum of the key's counters.
+  /// Never underestimates an actual insert/erase balance (modulo saturation),
+  /// which is exactly the bias TinyLFU admission wants.
+  [[nodiscard]] std::uint8_t estimate(const Uint128& key) const;
+
+  /// Halves every counter (the TinyLFU "reset" aging step). Saturated cells
+  /// decay like any other, so a once-hot key stops looking permanently hot.
+  void halve();
+
   void clear();
 
   [[nodiscard]] std::size_t counter_count() const { return counters_; }

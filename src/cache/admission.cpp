@@ -1,0 +1,98 @@
+#include "cache/admission.hpp"
+
+#include <algorithm>
+
+namespace webcache::cache {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// ~8 sketch counters / doorkeeper bits per cached object; the floor keeps
+/// tiny client caches (capacity < 8) from degenerating to an always-full
+/// filter.
+std::size_t filter_cells(std::size_t capacity) {
+  return std::max<std::size_t>(64, capacity * 8);
+}
+
+}  // namespace
+
+AdmissionFilter::AdmissionFilter(std::size_t capacity)
+    : sketch_(filter_cells(capacity), 4U),
+      doorkeeper_(filter_cells(capacity), 3U),
+      sample_period_(std::max<std::uint64_t>(64, 10 * capacity)) {}
+
+Uint128 AdmissionFilter::key_of(ObjectNum object) {
+  const auto z = static_cast<std::uint64_t>(object);
+  return {splitmix(z), splitmix(~z)};
+}
+
+bool AdmissionFilter::record_access(ObjectNum object) {
+  const Uint128 key = key_of(object);
+  // The doorkeeper absorbs first references: the sketch only counts repeat
+  // traffic, so one-timers never consume its 4-bit dynamic range.
+  if (!doorkeeper_.may_contain(key)) {
+    doorkeeper_.insert(key);
+  } else {
+    sketch_.insert(key);
+  }
+  if (++ops_ >= sample_period_) {
+    sketch_.halve();
+    doorkeeper_.clear();
+    ops_ = 0;
+    ++halvings_;
+    return true;
+  }
+  return false;
+}
+
+unsigned AdmissionFilter::estimate(ObjectNum object) const {
+  const Uint128 key = key_of(object);
+  unsigned estimate = sketch_.estimate(key);
+  if (doorkeeper_.may_contain(key)) ++estimate;
+  return estimate;
+}
+
+AdmittedCache::AdmittedCache(std::unique_ptr<Cache> inner)
+    : Cache(inner->capacity()), filter_(inner->capacity()), inner_(std::move(inner)) {}
+
+void AdmittedCache::access(ObjectNum object, double cost) {
+  note_sampled(filter_.record_access(object));
+  obs_hit();
+  inner_->access(object, cost);
+}
+
+InsertResult AdmittedCache::insert(ObjectNum object, double cost) {
+  note_sampled(filter_.record_access(object));
+  if (capacity_ == 0) return {};
+  if (policy_considered_ != nullptr) policy_considered_->inc();
+  if (inner_->full()) {
+    const auto victim = inner_->peek_victim();
+    if (victim.has_value() && !filter_.admit(object, *victim)) {
+      if (policy_rejects_ != nullptr) policy_rejects_->inc();
+      obs_declined();
+      return {};
+    }
+  }
+  if (policy_accepts_ != nullptr) policy_accepts_->inc();
+  InsertResult result = inner_->insert(object, cost);
+  if (result.inserted) obs_inserted();
+  if (result.evicted.has_value()) obs_evicted();
+  if (!result.inserted) obs_declined();
+  return result;
+}
+
+void AdmittedCache::bind_policy_observability(obs::Registry& registry,
+                                              const std::string& prefix) {
+  policy_considered_ = &registry.counter(prefix + "policy.admission_considered");
+  policy_accepts_ = &registry.counter(prefix + "policy.admission_accepts");
+  policy_rejects_ = &registry.counter(prefix + "policy.admission_rejects");
+  policy_halvings_ = &registry.counter(prefix + "policy.sketch_halvings");
+}
+
+}  // namespace webcache::cache

@@ -79,9 +79,16 @@ class Cache {
     obs_insertions_ = &registry.counter(prefix + "insertions");
     obs_evictions_ = &registry.counter(prefix + "evictions");
     obs_declined_ = &registry.counter(prefix + "declined");
+    bind_policy_observability(registry, prefix);
   }
 
  protected:
+  /// Policies with instruments beyond the four standard counters (the
+  /// TinyLFU admission sketch, ARC's adaptation state) bind them here, under
+  /// the `<prefix>policy.` namespace (see scripts/check_metrics_schema.py).
+  virtual void bind_policy_observability(obs::Registry& /*registry*/,
+                                         const std::string& /*prefix*/) {}
+
   /// Policies call these from access()/insert(); no-ops until bound.
   void obs_hit() {
     if (obs_hits_ != nullptr) obs_hits_->inc();

@@ -250,6 +250,15 @@ class FlatMap {
     size_ = 0;
   }
 
+  /// Pre-sizes the table so `expected` entries stay under the 7/8 load
+  /// ceiling without any mid-run rehash (the Cache::reserve_universe hint
+  /// for policies whose index is a FlatMap). Never shrinks.
+  void reserve(std::size_t expected) {
+    std::size_t capacity = 16;
+    while (capacity * 7 < expected * 8) capacity *= 2;
+    if (capacity > slots_.size()) rehash(capacity);
+  }
+
   /// Visits entries in probe-slot order (deterministic for a given operation
   /// history): fn(key, value).
   template <typename Fn>
@@ -275,9 +284,10 @@ class FlatMap {
            mask_;
   }
 
-  void grow() {
+  void grow() { rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+  void rehash(std::size_t capacity) {
     std::vector<Slot> old = std::move(slots_);
-    const std::size_t capacity = old.empty() ? 16 : old.size() * 2;
     slots_.assign(capacity, Slot{});
     mask_ = capacity - 1;
     for (Slot& s : old) {

@@ -4,9 +4,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cache/greedy_dual.hpp"
 #include "common/sha1.hpp"
 
 namespace webcache::p2p {
+
+namespace {
+
+/// One client's cooperative cache slice: the configured policy, defaulting
+/// to the paper's greedy-dual.
+std::unique_ptr<cache::Cache> make_client_cache(const P2PConfig& config, ClientNum index) {
+  const std::size_t capacity = client_capacity(config, index);
+  if (auto cache = cache::make_cache(config.client_policy, capacity)) return cache;
+  return std::make_unique<cache::GreedyDualCache>(capacity);
+}
+
+}  // namespace
 
 std::size_t client_capacity(const P2PConfig& config, ClientNum index) {
   const std::size_t base = config.per_client_capacity;
@@ -52,7 +65,7 @@ P2PClientCache::P2PClientCache(P2PConfig config,
   for (ClientNum c = 0; c < config_.clients; ++c) {
     ClientNode node;
     node.id = pastry::node_id_for(config_.name_prefix + "/client" + std::to_string(c));
-    node.cache = std::make_unique<cache::GreedyDualCache>(client_capacity(config_, c));
+    node.cache = make_client_cache(config_, c);
     // Every client cache binds to the same cluster-wide prefix, so the
     // counters aggregate across the whole P2P client cache.
     node.cache->bind_observability(reg, cache_prefix);
@@ -276,7 +289,7 @@ ClientNum P2PClientCache::add_client() {
   const ClientNum index = static_cast<ClientNum>(nodes_.size());
   ClientNode node;
   node.id = pastry::node_id_for(config_.name_prefix + "/client" + std::to_string(index));
-  node.cache = std::make_unique<cache::GreedyDualCache>(client_capacity(config_, index));
+  node.cache = make_client_cache(config_, index);
   node.cache->bind_observability(*registry_, config_.name_prefix + ".client_cache.");
   const std::uint32_t slot = overlay_.add_node(node.id);
   assert(slot == index && "client index must equal overlay slot");

@@ -26,7 +26,8 @@
 #include <string>
 #include <vector>
 
-#include "cache/greedy_dual.hpp"
+#include "cache/cache.hpp"
+#include "cache/policy.hpp"
 #include "common/dense_map.hpp"
 #include "common/types.hpp"
 #include "common/uint128.hpp"
@@ -59,6 +60,10 @@ struct P2PConfig {
   /// Distinguishes node ids across clusters (cacheId = SHA-1 of this prefix
   /// plus the client index).
   std::string name_prefix = "cluster0";
+  /// Replacement policy of each client's cooperative cache slice. kDefault =
+  /// greedy-dual, the paper's Hier-GD bottom tier (SimConfig::client_policy
+  /// threads through here).
+  cache::PolicyKind client_policy = cache::PolicyKind::kDefault;
 };
 
 /// Capacity of client `index` under a spread policy. Deterministic so runs
@@ -168,7 +173,7 @@ class P2PClientCache {
   struct ClientNode {
     pastry::NodeId id;
     bool alive = true;
-    std::unique_ptr<cache::GreedyDualCache> cache;
+    std::unique_ptr<cache::Cache> cache;  ///< greedy-dual unless client_policy overrides
     /// Objects this node is root for but that live at a leaf-set peer
     /// (value = the peer's client index).
     FlatMap<ClientNum> diverted_out;

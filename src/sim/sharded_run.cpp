@@ -331,6 +331,15 @@ struct ShardedRunEngine {
              double& loss_waste) const {
     Simulator::Proxy& proxy = sim.proxies_[cluster];
     Lane& lane = st.lanes[cluster];
+    // A push fetch deferred to phase 2b can race a later same-epoch request
+    // that admitted the object inline (local P2P hit); sequentially the push
+    // completes first and that later request is a plain hit. Honour the cache
+    // contract (insert() is only for uncached objects) by refreshing instead.
+    if (proxy.gd->contains(object)) {
+      const double* stored = proxy.fetch_cost.find(object);
+      proxy.gd->access(object, stored != nullptr ? *stored : cost);
+      return;
+    }
     proxy.fetch_cost[object] = cost;
     const auto ins = proxy.gd->insert(object, cost);
     if (ins.inserted) {

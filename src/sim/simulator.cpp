@@ -58,6 +58,21 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
   if (proxies_cooperate(config_.scheme) && config_.num_proxies < 2) {
     throw std::invalid_argument("Simulator: cooperative schemes need >= 2 proxies");
   }
+  // Policy overrides: FC/FC-EC are defined by the clairvoyant cost-benefit
+  // coordinator, so a replacement-policy override there is a contradiction,
+  // not a configuration.
+  if (config_.proxy_policy != cache::PolicyKind::kDefault &&
+      (config_.scheme == Scheme::kFC || config_.scheme == Scheme::kFC_EC)) {
+    throw std::invalid_argument(
+        "Simulator: FC/FC-EC cannot take a proxy-policy override — the "
+        "clairvoyant cost-benefit coordinator is the scheme");
+  }
+  if (config_.client_policy != cache::PolicyKind::kDefault &&
+      config_.scheme == Scheme::kFC_EC) {
+    throw std::invalid_argument(
+        "Simulator: FC-EC unifies both tiers under the clairvoyant "
+        "coordinator; a client-policy override cannot apply");
+  }
 
   const std::size_t p2p_capacity =
       static_cast<std::size_t>(config_.clients_per_cluster) * config_.client_cache_capacity;
@@ -209,8 +224,12 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
     switch (config_.scheme) {
       case Scheme::kNC:
       case Scheme::kSC:
-        proxy.cache =
-            std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode);
+        proxy.cache = cache::make_cache(config_.proxy_policy, config_.proxy_capacity,
+                                        config_.lfu_mode);
+        if (proxy.cache == nullptr) {
+          proxy.cache =
+              std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode);
+        }
         proxy.cache->reserve_universe(universe);
         proxy.cache->bind_observability(reg, proxy_prefix + "cache.");
         break;
@@ -221,10 +240,18 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
         proxy.cache->bind_observability(reg, proxy_prefix + "cache.");
         break;
       case Scheme::kNC_EC:
-      case Scheme::kSC_EC:
-        proxy.tiered = std::make_unique<TieredCache>(
-            std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode),
-            std::make_unique<cache::LfuCache>(p2p_capacity, config_.lfu_mode));
+      case Scheme::kSC_EC: {
+        auto tier1 = cache::make_cache(config_.proxy_policy, config_.proxy_capacity,
+                                       config_.lfu_mode);
+        if (tier1 == nullptr) {
+          tier1 = std::make_unique<cache::LfuCache>(config_.proxy_capacity, config_.lfu_mode);
+        }
+        auto tier2 =
+            cache::make_cache(config_.client_policy, p2p_capacity, config_.lfu_mode);
+        if (tier2 == nullptr) {
+          tier2 = std::make_unique<cache::LfuCache>(p2p_capacity, config_.lfu_mode);
+        }
+        proxy.tiered = std::make_unique<TieredCache>(std::move(tier1), std::move(tier2));
         proxy.tiered->reserve_universe(universe);
         proxy.tiered->bind_observability(reg, proxy_prefix + "tiered.");
         if (residency_enabled_) {
@@ -271,6 +298,7 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
               });
         }
         break;
+      }
       case Scheme::kFC_EC:
         proxy.unified = std::make_unique<cache::CostBenefitCache>(
             config_.proxy_capacity + p2p_capacity, *coordinator_);
@@ -279,17 +307,23 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
         proxy.tier_tracker = std::make_unique<cache::LruCache>(config_.proxy_capacity);
         break;
       case Scheme::kHierGD: {
-        switch (config_.hier_proxy_policy) {
-          case HierProxyPolicy::kGreedyDual:
-            proxy.gd = std::make_unique<cache::GreedyDualCache>(config_.proxy_capacity);
-            break;
-          case HierProxyPolicy::kLru:
-            proxy.gd = std::make_unique<cache::LruCache>(config_.proxy_capacity);
-            break;
-          case HierProxyPolicy::kLfu:
-            proxy.gd = std::make_unique<cache::LfuCache>(config_.proxy_capacity,
-                                                         config_.lfu_mode);
-            break;
+        // proxy_policy (when set) supersedes the legacy hier_proxy_policy
+        // ablation enum; both default to the paper's greedy-dual.
+        proxy.gd = cache::make_cache(config_.proxy_policy, config_.proxy_capacity,
+                                     config_.lfu_mode);
+        if (proxy.gd == nullptr) {
+          switch (config_.hier_proxy_policy) {
+            case HierProxyPolicy::kGreedyDual:
+              proxy.gd = std::make_unique<cache::GreedyDualCache>(config_.proxy_capacity);
+              break;
+            case HierProxyPolicy::kLru:
+              proxy.gd = std::make_unique<cache::LruCache>(config_.proxy_capacity);
+              break;
+            case HierProxyPolicy::kLfu:
+              proxy.gd = std::make_unique<cache::LfuCache>(config_.proxy_capacity,
+                                                           config_.lfu_mode);
+              break;
+          }
         }
         p2p::P2PConfig pc;
         pc.clients = config_.clients_per_cluster;
@@ -297,6 +331,7 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
         pc.capacity_spread = config_.capacity_spread;
         pc.overlay = config_.overlay;
         pc.enable_diversion = config_.enable_diversion;
+        pc.client_policy = config_.client_policy;
         pc.name_prefix = "cluster" + std::to_string(p);
         proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, &reg);
         proxy.fetch_cost.reserve(universe);
@@ -321,6 +356,7 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
         pc.capacity_spread = config_.capacity_spread;
         pc.overlay = config_.overlay;
         pc.enable_diversion = config_.enable_diversion;
+        pc.client_policy = config_.client_policy;
         pc.name_prefix = "org" + std::to_string(p);
         proxy.p2p = std::make_unique<p2p::P2PClientCache>(pc, object_ids_, &reg);
         break;

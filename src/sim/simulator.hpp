@@ -33,6 +33,7 @@
 #include "common/dense_map.hpp"
 #include "cache/lfu.hpp"
 #include "cache/lru.hpp"
+#include "cache/policy.hpp"
 #include "directory/directory.hpp"
 #include "fault/churn_engine.hpp"
 #include "fault/churn_schedule.hpp"
@@ -98,7 +99,19 @@ struct SimConfig {
   /// which makes the client-cluster-size experiments latency-honest.
   double p2p_hop_latency = 0.0;
   /// Hier-GD proxy-tier policy (ablation; the paper uses greedy-dual).
+  /// Superseded by `proxy_policy` when that is not kDefault.
   HierProxyPolicy hier_proxy_policy = HierProxyPolicy::kGreedyDual;
+  /// Proxy-tier replacement/admission policy override (CLI --proxy-policy,
+  /// env WEBCACHE_POLICY). kDefault keeps each scheme's paper policy: LFU at
+  /// NC/SC and the *-EC tier 1, greedy-dual (per hier_proxy_policy) at
+  /// Hier-GD. FC/FC-EC reject any override — the clairvoyant cost-benefit
+  /// coordinator IS those schemes (std::invalid_argument).
+  cache::PolicyKind proxy_policy = cache::PolicyKind::kDefault;
+  /// Client-tier policy override (CLI --client-policy): tier 2 of
+  /// NC-EC/SC-EC (default LFU) and the per-client cooperative caches of
+  /// Hier-GD/Squirrel (default greedy-dual). Ignored by NC/SC/FC, which have
+  /// no client tier; rejected by FC-EC like proxy_policy.
+  cache::PolicyKind client_policy = cache::PolicyKind::kDefault;
   /// Per-client *private* browser cache (the "local" partition of the
   /// client cache, paper Section 2). 0 disables it — the trace is then
   /// interpreted as the post-browser-cache request stream, which is the

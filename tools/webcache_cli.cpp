@@ -29,6 +29,12 @@
 //   --proxies N --clients N --cache-pct X --client-cache-pct X
 //   --directory exact|bloom --bloom-fpr X --no-diversion
 //   --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N
+//   --proxy-policy P        proxy-tier replacement/admission policy override
+//                           (default | lru | lfu | gd | tinylfu-lru |
+//                           w-tinylfu | arc); "default" keeps each scheme's
+//                           paper policy. FC/FC-EC reject overrides.
+//   --client-policy P       client-tier policy override (Hier-GD/Squirrel
+//                           cooperative caches, *-EC second tier); same names
 //   --shards N              intra-run sharding: partition ONE simulation
 //                           across N worker threads (clusters round-robin
 //                           over shards; byte-identical results for any
@@ -63,6 +69,9 @@
 //   WEBCACHE_SIM_SHARDS  default for --shards: worker shards WITHIN one
 //                        simulation (0 = sequential engine; any value >= 1
 //                        yields byte-identical results).
+//   WEBCACHE_POLICY      default for --proxy-policy/--client-policy as
+//                        "<proxy>[,<client>]" (e.g. "w-tinylfu" or
+//                        "arc,lru"); flags win over the environment.
 //
 // Exit code 0 on success, 2 on usage errors.
 #include <cstdlib>
@@ -99,7 +108,8 @@ using namespace webcache;
       "  simulate --scheme NAME [workload flags | --trace FILE [--squid]]\n"
       "           [--proxies N --clients N --cache-pct X --client-cache-pct X\n"
       "            --directory exact|bloom --bloom-fpr X --no-diversion\n"
-      "            --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N]\n"
+      "            --ts-tc X --ts-tl X --tp2p-tl X --browser-cache N\n"
+      "            --proxy-policy P --client-policy P]\n"
       "           [--churn-crashes N --churn-recover-after N --churn-joins N\n"
       "            --churn-repair-every N --churn-start N --churn-seed N\n"
       "            --churn-loss X --audit-interval N]\n"
@@ -170,6 +180,7 @@ const std::vector<std::string> kWorkloadFlags = {
 const std::vector<std::string> kClusterFlags = {
     "proxies", "cache-pct", "client-cache-pct", "directory", "bloom-fpr",
     "no-diversion", "ts-tc", "ts-tl", "tp2p-tl", "browser-cache", "shards",
+    "proxy-policy", "client-policy",
 };
 const std::vector<std::string> kChurnFlags = {
     "churn-crashes", "churn-recover-after", "churn-joins", "churn-repair-every",
@@ -242,6 +253,18 @@ sim::SimConfig cluster_from(const Flags& flags, const workload::TraceSource& tra
   cfg.browser_cache_capacity = flags.integer("browser-cache", 0);
   cfg.sim_shards =
       static_cast<unsigned>(flags.integer("shards", core::sim_shards_from_env()));
+
+  // Policy overrides: flags beat WEBCACHE_POLICY beats each scheme's default.
+  const auto env_policies = core::policies_from_env();
+  const auto parse_policy = [&flags](const std::string& flag, cache::PolicyKind fallback) {
+    const auto name = flags.str(flag, "");
+    if (name.empty()) return fallback;
+    const auto kind = cache::policy_from_string(name);
+    if (!kind) usage("--" + flag + " must be one of: " + cache::policy_names());
+    return *kind;
+  };
+  cfg.proxy_policy = parse_policy("proxy-policy", env_policies.first);
+  cfg.client_policy = parse_policy("client-policy", env_policies.second);
   return cfg;
 }
 
