@@ -21,6 +21,10 @@ Exit codes:
      carries sections/schemes the baseline has never seen (a stale baseline
      — refresh it with ``--update-baseline``)
 
+Every check accumulates: one run prints ALL stale-baseline problems,
+regressed schemes and failed gates (exit 2 takes precedence over 1), so
+perf triage needs a single CI pass instead of one per failure.
+
 Sections are printed for context but not gated: absolute wall clock varies
 too much across machines, while the *ratio* of requests/sec on the same
 machine is a stable regression signal. The default band (0.5) is
@@ -154,6 +158,13 @@ def main():
         ref = f" (baseline {base_secs:.3f} s)" if base_secs is not None else ""
         print(f"section {label}: {secs:.3f} s{ref}")
 
+    # Every check below ACCUMULATES instead of returning, so one CI pass
+    # shows the complete failure list: all stale-baseline problems, all
+    # regressed schemes, all failed gates. Report problems (exit 2) take
+    # precedence over regressions (exit 1) in the final exit code.
+    problems = []  # exit-2 class: stale baseline / broken report
+    failures = []  # exit-1 class: regressions and failed gates
+
     # A scheme the baseline knows but the current run never measured is a
     # broken/renamed bench, not a slow one — report it distinctly so CI logs
     # don't read it as a perf regression.
@@ -169,11 +180,7 @@ def main():
             "refreshing the baseline?)",
             file=sys.stderr,
         )
-        print(
-            f"if the rename is deliberate, refresh with:\n  {refresh_command(args)}",
-            file=sys.stderr,
-        )
-        return 2
+        problems.append(f"missing from current report: {', '.join(missing)}")
 
     # The mirror image: the current report measures things the baseline has
     # never seen. The new entries would otherwise ride along ungated until
@@ -187,14 +194,14 @@ def main():
         )
         print(
             "(a bench gained a section/scheme/gate; refresh the committed "
-            "baseline so the new entries are gated too:)",
+            "baseline so the new entries are gated too)",
             file=sys.stderr,
         )
-        print(f"  {refresh_command(args)}", file=sys.stderr)
-        return 2
+        problems.append(f"absent from baseline: {', '.join(added)}")
 
-    failures = []
     for scheme, base in sorted(base_rps.items()):
+        if scheme not in cur_rps:
+            continue  # already reported as a missing-scheme problem
         cur = cur_rps[scheme]
         ratio = cur / base if base > 0 else float("inf")
         status = "ok" if ratio >= args.min_ratio else "REGRESSION"
@@ -208,10 +215,17 @@ def main():
 
     failures.extend(check_gates(current))
 
-    if failures:
+    if problems or failures:
         print("\nperf check FAILED:", file=sys.stderr)
-        for f in failures:
+        for f in problems + failures:
             print(f"  {f}", file=sys.stderr)
+        if problems:
+            print(
+                f"\nif the report change is deliberate, refresh with:\n"
+                f"  {refresh_command(args)}",
+                file=sys.stderr,
+            )
+            return 2
         return 1
     print("\nperf check passed")
     return 0

@@ -1,0 +1,76 @@
+// Fixed multi-word bitset over proxy-cluster indices.
+//
+// The sharded engine's cooperation digests record, per object, which
+// clusters advertise a copy. They were plain uint64 masks, which capped
+// cooperative sharded runs at 64 proxies; this fixed four-word bitset lifts
+// the ceiling to 256 clusters while keeping the digest a small, flat,
+// trivially copyable value the hot path can read with one indexed load per
+// word. The width is a compile-time constant on purpose: a digest array is
+// sized `universe x sizeof(ClusterBitset)`, so an unbounded dynamic bitset
+// would turn every digest read into a pointer chase.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace webcache {
+
+struct ClusterBitset {
+  static constexpr unsigned kWords = 4;
+  /// Hard ceiling on cooperating clusters in a sharded run (Simulator::
+  /// sharding_supported falls back to the sequential engine above it).
+  static constexpr unsigned kMaxClusters = kWords * 64;
+
+  std::array<std::uint64_t, kWords> words{};
+
+  constexpr void set(unsigned i) { words[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  constexpr void reset(unsigned i) { words[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  [[nodiscard]] constexpr bool test(unsigned i) const {
+    return ((words[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+  [[nodiscard]] constexpr bool any() const {
+    for (const std::uint64_t w : words) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  friend constexpr bool operator==(const ClusterBitset&, const ClusterBitset&) = default;
+};
+
+/// First set cluster in ring order from `local` — local+1, local+2, ...
+/// wrapping past the top word to 0 — never `local` itself; -1 when no other
+/// cluster is set. Exactly the holder the historical single-word
+/// first_remote_holder scan (and before it, the per-proxy probe loop)
+/// selected, generalized to kWords words.
+[[nodiscard]] constexpr int first_holder_in_ring(const ClusterBitset& mask,
+                                                 unsigned local) {
+  const unsigned local_word = local >> 6;
+  const unsigned local_bit = local & 63;
+  // Bits strictly above `local` within its own word.
+  const std::uint64_t above =
+      local_bit == 63 ? 0 : mask.words[local_word] & (~std::uint64_t{0} << (local_bit + 1));
+  if (above != 0) {
+    return static_cast<int>((local_word << 6) + static_cast<unsigned>(std::countr_zero(above)));
+  }
+  for (unsigned w = local_word + 1; w < ClusterBitset::kWords; ++w) {
+    if (mask.words[w] != 0) {
+      return static_cast<int>((w << 6) + static_cast<unsigned>(std::countr_zero(mask.words[w])));
+    }
+  }
+  for (unsigned w = 0; w < local_word; ++w) {
+    if (mask.words[w] != 0) {
+      return static_cast<int>((w << 6) + static_cast<unsigned>(std::countr_zero(mask.words[w])));
+    }
+  }
+  // Bits strictly below `local` within its own word (the wrap's tail).
+  const std::uint64_t below =
+      local_bit == 0 ? 0 : mask.words[local_word] & (~std::uint64_t{0} >> (64 - local_bit));
+  if (below != 0) {
+    return static_cast<int>((local_word << 6) + static_cast<unsigned>(std::countr_zero(below)));
+  }
+  return -1;
+}
+
+}  // namespace webcache

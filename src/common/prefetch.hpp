@@ -1,0 +1,17 @@
+// Advisory software-prefetch shim for the pipelined request engine.
+//
+// WEBCACHE_PREFETCH(addr) hints the memory system to pull the cache line of
+// `addr` toward the core for a read. It is never an access in the language
+// sense: no load is observable, no fault is taken for bad addresses on the
+// architectures GCC/Clang target, and results of a run are byte-identical
+// with the macro compiled out. Callers still bounds-check the address the
+// hint is derived from, so the hint always points into live storage.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+// rw=0 (read), locality=3 (keep in all cache levels): every prefetched slot
+// is probed by the execution phase a few requests later.
+#define WEBCACHE_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define WEBCACHE_PREFETCH(addr) ((void)(addr))
+#endif

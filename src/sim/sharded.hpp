@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cluster_bitset.hpp"
 #include "common/stats.hpp"
 #include "fault/churn_engine.hpp"
 #include "fault/loss_model.hpp"
@@ -142,9 +143,11 @@ struct Simulator::ShardedState {
   // the sequential residency index; digest_dir is the exact set of keys each
   // Hier-GD directory registered (Bloom false positives still apply to LOCAL
   // directory lookups — the digest gates only cross-cluster decisions).
-  std::vector<std::uint64_t> digest_primary;
-  std::vector<std::uint64_t> digest_secondary;
-  std::vector<std::uint64_t> digest_dir;
+  // Fixed 256-bit ClusterBitsets, so cooperative sharded runs scale to 256
+  // clusters (sharding_supported gates on ClusterBitset::kMaxClusters).
+  std::vector<ClusterBitset> digest_primary;
+  std::vector<ClusterBitset> digest_secondary;
+  std::vector<ClusterBitset> digest_dir;
   bool use_primary = false;
   bool use_secondary = false;
   bool use_dir = false;

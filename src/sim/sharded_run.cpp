@@ -41,8 +41,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/cluster_bitset.hpp"
+#include "common/prefetch.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
+#include "sim/step_pipeline.hpp"
 
 namespace webcache::sim {
 
@@ -58,17 +61,22 @@ struct ShardedRunEngine {
   const unsigned P;
   const unsigned S;
   const std::uint64_t total;
+  /// One pipeline per shard (drive_filtered reuses a scratch batch buffer;
+  /// each worker thread owns exactly its shard's instance).
+  std::vector<StepPipeline> pipelines;
 
   explicit ShardedRunEngine(Simulator& simulator)
       : sim(simulator),
         st(*simulator.sharded_),
         P(simulator.config_.num_proxies),
         S(st.shards),
-        total(simulator.source_->size()) {}
+        total(simulator.source_->size()),
+        pipelines(st.shards, StepPipeline(simulator.pipeline_window_)) {}
 
-  [[nodiscard]] std::uint64_t mask_of(const std::vector<std::uint64_t>& digest,
-                                      ObjectNum object) const {
-    return object < digest.size() ? digest[object] : 0;
+  [[nodiscard]] const ClusterBitset& mask_of(const std::vector<ClusterBitset>& digest,
+                                             ObjectNum object) const {
+    static constexpr ClusterBitset kEmpty{};
+    return object < digest.size() ? digest[object] : kEmpty;
   }
 
   void log_digest(Lane& lane, ObjectNum object, DA array, bool present) const {
@@ -225,8 +233,7 @@ struct ShardedRunEngine {
 
     ServedFrom served = ServedFrom::kOriginServer;
     if (sim.config_.scheme == Scheme::kSC) {
-      const int holder =
-          sim.first_remote_holder(mask_of(st.digest_primary, object), cluster);
+      const int holder = first_holder_in_ring(mask_of(st.digest_primary, object), cluster);
       if (holder >= 0) {
         St::DeferredOp op;
         op.pos = t;
@@ -270,13 +277,12 @@ struct ShardedRunEngine {
       // Prefer an advertised remote tier-1 copy (Tc) over a tier-2 push
       // (Tc + Tp2p); either way the remote cluster refreshes the copy in
       // place when the op applies (membership never changes remotely).
-      const int t1 = sim.first_remote_holder(mask_of(st.digest_primary, object), cluster);
+      const int t1 = first_holder_in_ring(mask_of(st.digest_primary, object), cluster);
       int target = t1;
       if (t1 >= 0) {
         served = ServedFrom::kRemoteProxy;
       } else {
-        const int t2 =
-            sim.first_remote_holder(mask_of(st.digest_secondary, object), cluster);
+        const int t2 = first_holder_in_ring(mask_of(st.digest_secondary, object), cluster);
         if (t2 >= 0) {
           target = t2;
           served = ServedFrom::kRemoteP2P;
@@ -404,7 +410,7 @@ struct ShardedRunEngine {
     // copies first (cheaper), then the push protocol against the first
     // cluster whose directory advertised the object.
     ServedFrom served = ServedFrom::kOriginServer;
-    const int holder = sim.first_remote_holder(mask_of(st.digest_primary, object), cluster);
+    const int holder = first_holder_in_ring(mask_of(st.digest_primary, object), cluster);
     if (holder >= 0) {
       St::DeferredOp op;
       op.pos = t;
@@ -415,7 +421,7 @@ struct ShardedRunEngine {
       st.outbox[shard].push_back(op);
       served = ServedFrom::kRemoteProxy;
     } else {
-      const int push_to = sim.first_remote_holder(mask_of(st.digest_dir, object), cluster);
+      const int push_to = first_holder_in_ring(mask_of(st.digest_dir, object), cluster);
       if (push_to >= 0) {
         ++lane.push_requests;
         maybe_lose(lane, loss_waste);
@@ -479,18 +485,34 @@ struct ShardedRunEngine {
           std::min<std::uint64_t>(end - pos, static_cast<std::uint64_t>(chunk)));
       const auto win = sim.source_->window(pos, want);
       if (win.empty()) break;  // defensive: a well-formed source never starves
-      for (std::size_t i = 0; i < win.size(); ++i) {
-        const std::uint64_t t = pos + i;
-        const auto cluster = static_cast<unsigned>(t % P);
-        if (cluster % S != shard) continue;
-        Lane& lane = st.lanes[cluster];
-        advance_churn(cluster, t);
-        const Request& request = win[i];
-        if (browser_lookup(lane, request, cluster)) continue;
-        if (step(t, request, cluster, shard)) {
-          browser_fill(cluster, request.client, request.object);
-        }
-      }
+      // Pipeline this shard's slice of the chunk: batch the positions it
+      // owns, prefetch their digest words and local index slots, then
+      // execute in the same order the plain loop would.
+      pipelines[shard].drive_filtered(
+          win, pos,
+          [&](std::uint64_t t) { return static_cast<unsigned>(t % P) % S == shard; },
+          [&](const Request& request, std::uint64_t t) {
+            const ObjectNum object = request.object;
+            if (st.use_primary && object < st.digest_primary.size()) {
+              WEBCACHE_PREFETCH(&st.digest_primary[object]);
+            }
+            if (st.use_secondary && object < st.digest_secondary.size()) {
+              WEBCACHE_PREFETCH(&st.digest_secondary[object]);
+            }
+            if (st.use_dir && object < st.digest_dir.size()) {
+              WEBCACHE_PREFETCH(&st.digest_dir[object]);
+            }
+            sim.prefetch_request(request, static_cast<unsigned>(t % P));
+          },
+          [&](const Request& request, std::uint64_t t) {
+            const auto cluster = static_cast<unsigned>(t % P);
+            Lane& lane = st.lanes[cluster];
+            advance_churn(cluster, t);
+            if (browser_lookup(lane, request, cluster)) return;
+            if (step(t, request, cluster, shard)) {
+              browser_fill(cluster, request.client, request.object);
+            }
+          });
       pos += win.size();
     }
   }
@@ -591,18 +613,17 @@ struct ShardedRunEngine {
   void flush_epoch(std::uint64_t epoch_end) noexcept {
     for (unsigned c = 0; c < P; ++c) {
       Lane& lane = st.lanes[c];
-      const std::uint64_t bit = std::uint64_t{1} << c;
       for (const auto& delta : lane.log) {
-        std::vector<std::uint64_t>& digest = delta.array == DA::kPrimary
+        std::vector<ClusterBitset>& digest = delta.array == DA::kPrimary
                                                  ? st.digest_primary
                                                  : delta.array == DA::kSecondary
                                                        ? st.digest_secondary
                                                        : st.digest_dir;
         if (delta.object >= digest.size()) continue;  // defensive; sized to universe
         if (delta.present) {
-          digest[delta.object] |= bit;
+          digest[delta.object].set(c);
         } else {
-          digest[delta.object] &= ~bit;
+          digest[delta.object].reset(c);
         }
       }
       lane.log.clear();

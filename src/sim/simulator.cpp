@@ -4,7 +4,10 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/cluster_bitset.hpp"
+#include "common/prefetch.hpp"
 #include "sim/sharded.hpp"
+#include "sim/step_pipeline.hpp"
 
 namespace webcache::sim {
 
@@ -50,6 +53,7 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
       inst_(*registry_, config_.latencies),
       msg_(*registry_, "net.") {
   const ObjectNum universe = source_->distinct_objects();
+  pipeline_window_ = resolve_pipeline_window(config_.pipeline_window);
   registry_->set_snapshot_interval(config_.snapshot_interval);
   if (config_.trace_capacity > 0) registry_->enable_tracing(config_.trace_capacity);
   if (config_.num_proxies == 0) {
@@ -116,9 +120,9 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<const workload::TraceSour
     st.use_primary = proxies_cooperate(config_.scheme);
     st.use_secondary = config_.scheme == Scheme::kSC_EC;
     st.use_dir = config_.scheme == Scheme::kHierGD;
-    if (st.use_primary) st.digest_primary.assign(universe, 0);
-    if (st.use_secondary) st.digest_secondary.assign(universe, 0);
-    if (st.use_dir) st.digest_dir.assign(universe, 0);
+    if (st.use_primary) st.digest_primary.assign(universe, ClusterBitset{});
+    if (st.use_secondary) st.digest_secondary.assign(universe, ClusterBitset{});
+    if (st.use_dir) st.digest_dir.assign(universe, ClusterBitset{});
   }
 
   // The residency index accelerates the cooperative remote-lookup scans; one
@@ -382,8 +386,10 @@ bool Simulator::sharding_supported(const SimConfig& config) {
   if (config.checkpoint_hook) return false;
   // A single cluster has nothing to parallelize over.
   if (config.num_proxies < 2) return false;
-  // The cooperation digests are 64-bit cluster masks.
-  if (proxies_cooperate(config.scheme) && config.num_proxies > 64) return false;
+  // The cooperation digests are fixed 256-bit ClusterBitsets.
+  if (proxies_cooperate(config.scheme) && config.num_proxies > ClusterBitset::kMaxClusters) {
+    return false;
+  }
   return true;
 }
 
@@ -563,24 +569,33 @@ Metrics Simulator::run() {
   // window, an mmap source pages sequentially and releases consumed chunks.
   const std::size_t chunk =
       config_.replay_chunk > 0 ? config_.replay_chunk : workload::default_replay_chunk();
+  // Pipelined replay: address-generate (routing + advisory prefetches) a
+  // window of requests ahead of executing them, so the independent index
+  // probes of consecutive requests overlap their cache misses. Execution
+  // order and results are identical for every window (pipeline_test pins
+  // the exports byte-for-byte).
+  const StepPipeline pipeline(pipeline_window_);
   for (std::uint64_t base = 0; base < total;) {
     const auto win = source_->window(base, chunk);
     if (win.empty()) break;  // defensive: a well-formed source never starves
-    for (std::size_t i = 0; i < win.size(); ++i) {
-      const std::uint64_t t = base + i;
-      churn_.advance(t, [this](const fault::ChurnEvent& e) { apply_churn(e); });
-      now_ = t;
-      const auto& request = win[i];
-      const auto proxy_index = static_cast<unsigned>(t % config_.num_proxies);
-      if (!browser_lookup(request, proxy_index)) {
-        step(request, proxy_index);
-        browser_fill(request, proxy_index);
-      }
-      if (checkpoint > 0 && config_.checkpoint_hook && (t + 1) % checkpoint == 0) {
-        config_.checkpoint_hook(*this, t + 1);
-        checked_at_end = t + 1 == total;
-      }
-    }
+    pipeline.drive(
+        win, base,
+        [this](const Request& request, std::uint64_t t) {
+          prefetch_request(request, static_cast<unsigned>(t % config_.num_proxies));
+        },
+        [&](const Request& request, std::uint64_t t) {
+          churn_.advance(t, [this](const fault::ChurnEvent& e) { apply_churn(e); });
+          now_ = t;
+          const auto proxy_index = static_cast<unsigned>(t % config_.num_proxies);
+          if (!browser_lookup(request, proxy_index)) {
+            step(request, proxy_index);
+            browser_fill(request, proxy_index);
+          }
+          if (checkpoint > 0 && config_.checkpoint_hook && (t + 1) % checkpoint == 0) {
+            config_.checkpoint_hook(*this, t + 1);
+            checked_at_end = t + 1 == total;
+          }
+        });
     base += win.size();
     source_->discard_consumed(base);
   }
@@ -632,6 +647,44 @@ void Simulator::step(const Request& request, unsigned proxy_index) {
       break;
     case Scheme::kSquirrel:
       step_squirrel(request, proxy_index);
+      break;
+  }
+}
+
+void Simulator::prefetch_request(const Request& request, unsigned proxy_index) const {
+  const Proxy& local = proxies_[proxy_index];
+  const ObjectNum object = request.object;
+  // The browser front end probes first, so its index slot is hinted too.
+  if (!local.browsers.empty()) {
+    local.browsers[request.client % config_.clients_per_cluster]->prefetch(object);
+  }
+  // The cooperative lookup's first read after a local miss is the residency
+  // word — one cache line covering every proxy's membership bit.
+  if (residency_enabled_) {
+    if (object < res_primary_.size()) WEBCACHE_PREFETCH(&res_primary_[object]);
+    if (object < res_secondary_.size()) WEBCACHE_PREFETCH(&res_secondary_[object]);
+  }
+  switch (config_.scheme) {
+    case Scheme::kNC:
+    case Scheme::kSC:
+    case Scheme::kFC:
+      local.cache->prefetch(object);
+      break;
+    case Scheme::kNC_EC:
+    case Scheme::kSC_EC:
+      local.tiered->prefetch(object);
+      break;
+    case Scheme::kFC_EC:
+      local.unified->prefetch(object);
+      local.tier_tracker->prefetch(object);
+      break;
+    case Scheme::kHierGD:
+      local.gd->prefetch(object);
+      local.fetch_cost.prefetch(object);
+      local.dir->prefetch(object);
+      break;
+    case Scheme::kSquirrel:
+      local.p2p->prefetch(object);
       break;
   }
 }

@@ -173,6 +173,14 @@ struct SimConfig {
   /// sequence is identical for any chunking). 0 = the process default
   /// (workload::default_replay_chunk, WEBCACHE_REPLAY_CHUNK overridable).
   std::size_t replay_chunk = 0;
+  /// Pipelined execution window: how many requests the run loop
+  /// address-generates (routing, index/slot resolution, advisory
+  /// prefetches) ahead of executing them. 0 = the process default
+  /// (sim::default_pipeline_window: WEBCACHE_PIPELINE, 16 when unset);
+  /// 1 disables the pipeline. Purely a throughput knob — prefetches are
+  /// advisory and address generation is read-only, so results are
+  /// byte-identical for every value (pipeline_test pins this).
+  unsigned pipeline_window = 0;
   /// Intra-run sharding: number of worker shards one simulation is
   /// partitioned across. 0 (the default) selects the classic sequential
   /// engine, bit-for-bit unchanged. Any value >= 1 selects the sharded
@@ -187,7 +195,8 @@ struct SimConfig {
   /// "Sharded runs"). Configurations whose semantics are inherently global
   /// — FC/FC-EC (clairvoyant coordinator), interval snapshots, the event
   /// tracer, checkpoint/audit hooks, a single proxy, or cooperative runs
-  /// with > 64 proxies — fall back to the sequential engine at any value.
+  /// with > 256 proxies (the cooperation digests are fixed 256-bit
+  /// ClusterBitsets) — fall back to the sequential engine at any value.
   unsigned sim_shards = 0;
   /// Digest refresh period of the sharded engine, in trace positions
   /// (0 = default, 8192). A semantic parameter of the sharded engine:
@@ -280,6 +289,11 @@ class Simulator {
   };
 
   void step(const Request& request, unsigned proxy_index);
+  /// Address-generation half of the pipeline: issues advisory prefetches on
+  /// every index slot step() will chase for this request (policy indexes,
+  /// heap position entries, directory slots, residency words, browser
+  /// caches). Read-only; never observable in results.
+  void prefetch_request(const Request& request, unsigned proxy_index) const;
   /// Browser-cache front end: returns true when the request was absorbed.
   bool browser_lookup(const Request& request, unsigned proxy_index);
   void browser_fill(const Request& request, unsigned proxy_index);
@@ -404,6 +418,7 @@ class Simulator {
   Instruments inst_;
   net::MessageCounters msg_;  ///< simulator-level protocol messages ("net.*")
   std::uint64_t now_ = 0;     ///< trace position of the request in flight
+  unsigned pipeline_window_ = 1;  ///< resolved SimConfig::pipeline_window
   bool ran_ = false;
   bool residency_enabled_ = false;
   std::vector<std::uint64_t> res_primary_;

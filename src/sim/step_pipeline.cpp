@@ -1,0 +1,43 @@
+#include "sim/step_pipeline.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace webcache::sim {
+
+namespace {
+
+[[nodiscard]] std::string upper(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) out.push_back(static_cast<char>(std::toupper(*s)));
+  return out;
+}
+
+}  // namespace
+
+unsigned default_pipeline_window() {
+  static const unsigned window = [] {
+    const char* env = std::getenv("WEBCACHE_PIPELINE");
+    if (env == nullptr || *env == '\0') return kDefaultPipelineWindow;
+    const std::string value = upper(env);
+    if (value == "OFF" || value == "FALSE" || value == "NO") return 1U;
+    if (value == "ON" || value == "TRUE" || value == "YES") return kDefaultPipelineWindow;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      if (n <= 1) return 1U;
+      if (n >= kMaxPipelineWindow) return kMaxPipelineWindow;
+      return static_cast<unsigned>(n);
+    }
+    return kDefaultPipelineWindow;  // unparsable: keep the engine's default
+  }();
+  return window;
+}
+
+unsigned resolve_pipeline_window(unsigned configured) {
+  if (configured == 0) return default_pipeline_window();
+  return configured > kMaxPipelineWindow ? kMaxPipelineWindow : configured;
+}
+
+}  // namespace webcache::sim

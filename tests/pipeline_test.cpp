@@ -1,0 +1,261 @@
+// Byte-identity contract of the pipelined execution engine
+// (SimConfig::pipeline_window): prefetches are advisory and the
+// address-generation phase is read-only, so EVERY window value must produce
+// byte-identical exports — sequential or sharded, in memory or streamed,
+// with or without churn/loss, at any sweep thread count. Also the regression
+// gate for the 256-cluster cooperation digests (ClusterBitset): sharded
+// cooperative runs must work above the old 64-proxy limit and stay
+// shard-count independent there.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cluster_bitset.hpp"
+#include "core/experiment.hpp"
+#include "fault/churn_schedule.hpp"
+#include "obs/registry.hpp"
+#include "sim/simulator.hpp"
+#include "sim/step_pipeline.hpp"
+#include "workload/prowgen.hpp"
+#include "workload/wctrace.hpp"
+
+namespace {
+
+using namespace webcache;
+
+workload::Trace pipeline_trace() {
+  workload::ProWGenConfig wl;
+  wl.total_requests = 30'000;
+  wl.distinct_objects = 3'000;
+  wl.seed = 1003;
+  return workload::ProWGen(wl).generate();
+}
+
+sim::SimConfig pipeline_config(sim::Scheme scheme) {
+  sim::SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_proxies = 8;
+  cfg.proxy_capacity = 150;
+  cfg.clients_per_cluster = 20;
+  cfg.client_cache_capacity = 4;
+  cfg.shard_epoch = 1024;
+  return cfg;
+}
+
+std::string export_of(sim::SimConfig cfg, const workload::Trace& trace) {
+  cfg.registry = std::make_shared<obs::Registry>();
+  (void)sim::run_simulation(cfg, trace);
+  std::ostringstream out;
+  cfg.registry->write_json(out, "pipeline_determinism");
+  return out.str();
+}
+
+std::string export_of(sim::SimConfig cfg, const workload::TraceSource& source) {
+  cfg.registry = std::make_shared<obs::Registry>();
+  sim::Simulator simulator(cfg, source);
+  (void)simulator.run();
+  std::ostringstream out;
+  cfg.registry->write_json(out, "pipeline_determinism");
+  return out.str();
+}
+
+std::vector<sim::Scheme> all_schemes_plus_squirrel() {
+  std::vector<sim::Scheme> schemes(sim::kAllSchemes.begin(), sim::kAllSchemes.end());
+  schemes.push_back(sim::Scheme::kSquirrel);
+  return schemes;
+}
+
+// 0 resolves to the process default (16 unless WEBCACHE_PIPELINE overrides);
+// the explicit values cover disabled, shallow, and deeper-than-default.
+constexpr unsigned kWindows[] = {1U, 4U, 32U, 0U};
+
+TEST(PipelineDeterminism, SequentialExportsAreByteIdenticalForEveryWindow) {
+  const auto trace = pipeline_trace();
+  for (const auto scheme : all_schemes_plus_squirrel()) {
+    auto cfg = pipeline_config(scheme);
+    cfg.pipeline_window = 1;
+    const std::string reference = export_of(cfg, trace);
+    for (const unsigned window : kWindows) {
+      if (window == 1) continue;
+      cfg.pipeline_window = window;
+      EXPECT_EQ(reference, export_of(cfg, trace))
+          << sim::to_string(scheme) << " window=" << window;
+    }
+  }
+}
+
+TEST(PipelineDeterminism, ShardedExportsAreWindowAndShardCountIndependent) {
+  const auto trace = pipeline_trace();
+  for (const auto scheme : {sim::Scheme::kSC, sim::Scheme::kSC_EC, sim::Scheme::kHierGD}) {
+    auto cfg = pipeline_config(scheme);
+    cfg.sim_shards = 1;
+    cfg.pipeline_window = 1;
+    const std::string reference = export_of(cfg, trace);
+    for (const unsigned shards : {1U, 8U}) {
+      cfg.sim_shards = shards;
+      for (const unsigned window : kWindows) {
+        cfg.pipeline_window = window;
+        EXPECT_EQ(reference, export_of(cfg, trace))
+            << sim::to_string(scheme) << " shards=" << shards << " window=" << window;
+      }
+    }
+  }
+}
+
+TEST(PipelineDeterminism, StreamedWctReplayMatchesInMemoryAtEveryWindow) {
+  const auto trace = pipeline_trace();
+  const std::string path = ::testing::TempDir() + "pipeline_determinism.wct";
+  workload::write_wctrace_file(path, trace);
+  const workload::MmapTraceSource source(path);
+
+  for (const auto scheme : {sim::Scheme::kSC, sim::Scheme::kHierGD}) {
+    // The two engines differ in detail for cooperative schemes (epoch-digest
+    // staleness), so each engine pins its own in-memory window=1 reference.
+    for (const unsigned shards : {0U, 8U}) {
+      auto cfg = pipeline_config(scheme);
+      cfg.sim_shards = shards;
+      cfg.pipeline_window = 1;
+      const std::string reference = export_of(cfg, trace);
+      // A tiny replay chunk forces blocks to straddle many windows; chunking
+      // must never interact with the pipeline blocking.
+      cfg.replay_chunk = 512;
+      for (const unsigned window : kWindows) {
+        cfg.pipeline_window = window;
+        EXPECT_EQ(reference, export_of(cfg, source))
+            << sim::to_string(scheme) << " shards=" << shards << " window=" << window;
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PipelineDeterminism, ChurnAndLossRunsAreWindowIndependent) {
+  const auto trace = pipeline_trace();
+  for (const auto scheme : {sim::Scheme::kHierGD, sim::Scheme::kSquirrel}) {
+    auto cfg = pipeline_config(scheme);
+    fault::ChurnSpec spec;
+    spec.start = 5'000;
+    spec.crashes = 4;
+    spec.recover_after = 4'000;
+    spec.joins = 2;
+    spec.repair_every = 7'000;
+    cfg.churn_events = fault::make_schedule(spec, trace.size(), cfg.num_proxies,
+                                            cfg.clients_per_cluster);
+    cfg.p2p_loss_rate = 0.02;
+    cfg.pipeline_window = 1;
+    const std::string reference = export_of(cfg, trace);
+    for (const unsigned window : {4U, 32U, 0U}) {
+      cfg.pipeline_window = window;
+      EXPECT_EQ(reference, export_of(cfg, trace))
+          << sim::to_string(scheme) << " window=" << window;
+    }
+  }
+}
+
+TEST(PipelineDeterminism, SweepMetricsExportIsWindowAndThreadCountIndependent) {
+  const auto trace = pipeline_trace();
+  core::SweepConfig sweep;
+  sweep.schemes = {sim::Scheme::kSC, sim::Scheme::kHierGD};
+  sweep.cache_percents = {1.0, 5.0};
+  sweep.base = pipeline_config(sim::Scheme::kNC);
+  sweep.collect_observability = true;
+
+  std::string reference;
+  for (const unsigned window : {1U, 0U}) {
+    for (const unsigned threads : {1U, 8U}) {
+      sweep.base.pipeline_window = window;
+      sweep.threads = threads;
+      const auto result = core::run_sweep(trace, sweep);
+      std::ostringstream out;
+      core::write_metrics_json(out, result, "pipeline_sweep");
+      if (reference.empty()) {
+        reference = out.str();
+      } else {
+        EXPECT_EQ(reference, out.str()) << "window=" << window << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(PipelineWindow, ResolutionClampsAndDefaults) {
+  // 0 defers to the process default — the engine's own (16, pipeline on)
+  // unless the environment overrides it, so the suite stays green on the
+  // WEBCACHE_PIPELINE=OFF sanitizer leg too.
+  EXPECT_EQ(sim::resolve_pipeline_window(0), sim::default_pipeline_window());
+  if (std::getenv("WEBCACHE_PIPELINE") == nullptr) {
+    EXPECT_EQ(sim::default_pipeline_window(), sim::kDefaultPipelineWindow);
+  }
+  EXPECT_EQ(sim::resolve_pipeline_window(1), 1U);
+  EXPECT_EQ(sim::resolve_pipeline_window(32), 32U);
+  EXPECT_EQ(sim::resolve_pipeline_window(1'000'000), sim::kMaxPipelineWindow);
+}
+
+// --- ClusterBitset: the 256-cluster cooperation digests ----------------------
+
+TEST(ClusterBitset, RingScanMatchesSingleWordSemanticsBelow64) {
+  // Ring order from local+1 upward with wraparound, never returning local —
+  // the exact contract of the old 64-bit scan.
+  ClusterBitset mask;
+  mask.set(3);
+  mask.set(10);
+  EXPECT_EQ(first_holder_in_ring(mask, 5), 10);
+  EXPECT_EQ(first_holder_in_ring(mask, 10), 3);  // wraps past the top
+  EXPECT_EQ(first_holder_in_ring(mask, 3), 10);
+  mask.reset(10);
+  EXPECT_EQ(first_holder_in_ring(mask, 3), -1);  // only the local bit left
+  EXPECT_EQ(first_holder_in_ring(ClusterBitset{}, 0), -1);
+}
+
+TEST(ClusterBitset, RingScanCrossesWordBoundaries) {
+  ClusterBitset mask;
+  mask.set(2);    // word 0
+  mask.set(70);   // word 1
+  mask.set(200);  // word 3
+  EXPECT_EQ(first_holder_in_ring(mask, 5), 70);    // higher word first
+  EXPECT_EQ(first_holder_in_ring(mask, 70), 200);  // next word up
+  EXPECT_EQ(first_holder_in_ring(mask, 200), 2);   // wraps to word 0
+  EXPECT_EQ(first_holder_in_ring(mask, 255), 2);
+  EXPECT_EQ(first_holder_in_ring(mask, 0), 2);     // later bit in own word
+}
+
+TEST(ManyProxies, ShardingIsSupportedUpTo256Clusters) {
+  auto cfg = pipeline_config(sim::Scheme::kSC);
+  cfg.num_proxies = 72;  // above the old 64-bit digest limit
+  EXPECT_TRUE(sim::Simulator::sharding_supported(cfg));
+  cfg.num_proxies = 256;
+  EXPECT_TRUE(sim::Simulator::sharding_supported(cfg));
+  cfg.num_proxies = 257;  // beyond the fixed ClusterBitset width
+  EXPECT_FALSE(sim::Simulator::sharding_supported(cfg));
+
+  auto hier = pipeline_config(sim::Scheme::kHierGD);
+  hier.num_proxies = 72;
+  EXPECT_TRUE(sim::Simulator::sharding_supported(hier));
+}
+
+TEST(ManyProxies, CooperativeExportsAreShardCountIndependentAt72Proxies) {
+  const auto trace = pipeline_trace();
+  auto cfg = pipeline_config(sim::Scheme::kSC);
+  cfg.num_proxies = 72;
+  cfg.proxy_capacity = 40;  // smaller per-proxy share over the same universe
+  cfg.sim_shards = 1;
+  const std::string one = export_of(cfg, trace);
+  for (const unsigned shards : {2U, 8U}) {
+    cfg.sim_shards = shards;
+    EXPECT_EQ(one, export_of(cfg, trace)) << "shards=" << shards;
+  }
+  // The sequential engine handles > 64 cooperating proxies via its fallback
+  // probe loops; it must still serve every request.
+  cfg.sim_shards = 0;
+  cfg.registry = std::make_shared<obs::Registry>();
+  const auto metrics = sim::run_simulation(cfg, trace);
+  EXPECT_EQ(metrics.requests, trace.size());
+  EXPECT_EQ(metrics.total_hits() + metrics.server_fetches, metrics.requests);
+}
+
+}  // namespace
